@@ -1,0 +1,123 @@
+// Command experiments regenerates every experiment of the per-experiment
+// index in DESIGN.md and prints the result tables (plain text by default,
+// markdown with -markdown). The markdown output is the source of
+// EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/measure"
+)
+
+func main() {
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown")
+	quick := flag.Bool("quick", false, "smaller sweeps (faster)")
+	flag.Parse()
+	if err := run(*markdown, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(markdown, quick bool) error {
+	emit := func(t measure.Table) {
+		if markdown {
+			fmt.Println(t.Markdown())
+		} else {
+			fmt.Println(t.Format())
+		}
+	}
+	emitRes := func(r *repro.ExpResult, err error) error {
+		if err != nil {
+			return err
+		}
+		emit(r.Table)
+		return nil
+	}
+
+	f1, f2 := repro.LandscapeFigures()
+	emit(f1)
+	emit(f2)
+
+	t11Scales := []int{12, 24, 48, 96, 144}
+	w25Sizes := []int{16000, 64000, 256000, 1024000, 4096000}
+	w25SizesK3 := []int{64000, 256000, 1024000, 4096000, 16384000}
+	w35Scales := []int{16, 32, 64, 128, 256}
+	augSizes := []int{16000, 64000, 256000, 1024000}
+	gapSizes := []int{200, 400, 800, 1600}
+	copySizes := []int{4000, 16000, 64000, 256000, 1024000}
+	if quick {
+		t11Scales = []int{8, 16, 32}
+		w25Sizes = []int{4000, 16000, 64000}
+		w25SizesK3 = w25Sizes
+		w35Scales = []int{8, 16, 32}
+		augSizes = []int{4000, 16000, 64000}
+		gapSizes = []int{200, 400, 800}
+		copySizes = []int{1000, 4000, 16000}
+	}
+
+	if err := emitRes(repro.Hierarchical35(2, t11Scales, 1)); err != nil {
+		return err
+	}
+	if err := emitRes(repro.Hierarchical35(3, []int{2, 3, 4, 5, 6}, 2)); err != nil {
+		return err
+	}
+	if err := emitRes(repro.Weighted25(5, 2, 2, w25Sizes, 3)); err != nil {
+		return err
+	}
+	if err := emitRes(repro.Weighted25(6, 2, 2, w25Sizes, 3)); err != nil {
+		return err
+	}
+	if err := emitRes(repro.Weighted25(5, 2, 3, w25SizesK3, 3)); err != nil {
+		return err
+	}
+	if err := emitRes(repro.Weighted35(7, 3, 2, w35Scales, 3, 4)); err != nil {
+		return err
+	}
+	if err := emitRes(repro.Weighted35(9, 3, 2, w35Scales, 3, 4)); err != nil {
+		return err
+	}
+	if err := emitRes(repro.WeightAugmented(2, 5, augSizes, 5)); err != nil {
+		return err
+	}
+	if err := emitRes(repro.WeightAugmented(3, 5, augSizes, 5)); err != nil {
+		return err
+	}
+	if err := emitRes(repro.TwoColoringGap(gapSizes, 6)); err != nil {
+		return err
+	}
+	if err := emitRes(repro.CopyFraction(5, 2, copySizes)); err != nil {
+		return err
+	}
+	if err := emitRes(repro.CopyFraction(7, 3, copySizes)); err != nil {
+		return err
+	}
+
+	dp, err := repro.DensityPoly([][2]float64{
+		{0.05, 0.1}, {0.1, 0.2}, {0.2, 0.3}, {0.3, 0.4}, {0.4, 0.5},
+	})
+	if err != nil {
+		return err
+	}
+	emit(dp)
+	dl, err := repro.DensityLogStar([][2]float64{{0.2, 0.4}, {0.4, 0.6}, {0.6, 0.8}}, 0.05)
+	if err != nil {
+		return err
+	}
+	emit(dl)
+	pt, err := repro.PathLCLTable()
+	if err != nil {
+		return err
+	}
+	emit(pt)
+	sv, err := repro.SurvivorCounts([]int{60, 90}, []int{5, 10, 20, 40, 60}, 1)
+	if err != nil {
+		return err
+	}
+	emit(sv)
+	return nil
+}

@@ -1,0 +1,53 @@
+// Command landscape prints the node-averaged complexity landscape of LCLs
+// on bounded-degree trees (Figures 1 and 2 of the paper) and, on request,
+// samples achievable complexity classes inside the dense regions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/landscape"
+	"repro/internal/measure"
+)
+
+func main() {
+	samples := flag.Int("samples", 0, "sample this many density points per regime")
+	lo := flag.Float64("lo", 0.1, "lower end of the sampled exponent range")
+	hi := flag.Float64("hi", 0.45, "upper end of the sampled exponent range")
+	flag.Parse()
+	if err := run(*samples, *lo, *hi); err != nil {
+		fmt.Fprintln(os.Stderr, "landscape:", err)
+		os.Exit(1)
+	}
+}
+
+func run(samples int, lo, hi float64) error {
+	f1, f2 := repro.LandscapeFigures()
+	fmt.Println(f1.Format())
+	fmt.Println(f2.Format())
+	if samples <= 0 {
+		return nil
+	}
+	for _, regime := range []landscape.Regime{landscape.RegimePolynomial, landscape.RegimeLogStar} {
+		a, b := lo, hi
+		if regime == landscape.RegimePolynomial && b > 0.5 {
+			b = 0.49
+		}
+		pts, err := landscape.SampleDensityPoints(regime, a, b, samples)
+		if err != nil {
+			return err
+		}
+		tb := measure.Table{
+			Title:  fmt.Sprintf("density samples, %v regime", regime),
+			Header: []string{"exponent", "Δ", "d", "k"},
+		}
+		for _, p := range pts {
+			tb.AddRow(p.Exponent, p.Delta, p.D, p.K)
+		}
+		fmt.Println(tb.Format())
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+// Threecolor: 3-color a path through the real message-passing LOCAL
+// simulator with Linial's iterated color reduction, and contrast it with
+// 2-coloring — the pair of problems behind the paper's motivating
+// observation that 3-coloring trees needs only O(log* n) node-averaged
+// rounds while 2-coloring is stuck at Θ(n).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/coloring"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "threecolor:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("n        3-col worst  3-col node-avg  2-col worst  2-col node-avg")
+	for _, n := range []int{1000, 4000, 16000} {
+		tr, err := graph.BuildPath(n)
+		if err != nil {
+			return err
+		}
+		ids := sim.DefaultIDs(n, uint64(n))
+		three, err := sim.Run(tr, coloring.LinialAlgorithm{Delta: 2}, sim.Config{IDs: ids})
+		if err != nil {
+			return err
+		}
+		colors := make([]int64, n)
+		for v, o := range three.Outputs {
+			colors[v] = o.(int64)
+		}
+		if ok, u, v := coloring.VerifyProperColoring(tr, colors); !ok {
+			return fmt.Errorf("improper coloring at edge {%d,%d}", u, v)
+		}
+		two, err := sim.Run(tr, coloring.TwoColorPathAlgorithm{}, sim.Config{IDs: ids})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8d %-12d %-15.1f %-12d %-14.1f\n",
+			n, three.TotalRounds, three.NodeAveraged(), two.TotalRounds, two.NodeAveraged())
+	}
+	fmt.Println("\n3-coloring stays flat (O(log* n)); 2-coloring grows linearly (Θ(n)).")
+	return nil
+}

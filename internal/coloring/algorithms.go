@@ -1,0 +1,173 @@
+package coloring
+
+import (
+	"repro/internal/sim"
+)
+
+// IDSpace63 is the default identifier-space size used by the palette
+// schedule (63-bit identifiers).
+const IDSpace63 = float64(1 << 63)
+
+// LinialAlgorithm is a sim.Algorithm computing a proper (Δ+1)-coloring of
+// the whole graph in O(log* n) + O(Δ²) rounds. Delta must be an upper bound
+// on the maximum degree.
+type LinialAlgorithm struct {
+	Delta int
+}
+
+var _ sim.Algorithm = LinialAlgorithm{}
+
+// Name implements sim.Algorithm.
+func (a LinialAlgorithm) Name() string { return "linial-coloring" }
+
+// NewMachine implements sim.Algorithm.
+func (a LinialAlgorithm) NewMachine(info sim.NodeInfo) sim.Machine {
+	r, err := NewReducer(info.ID, a.Delta, IDSpace63)
+	if err != nil {
+		// Construction can only fail on delta < 1, a static misuse.
+		panic(err)
+	}
+	return &linialMachine{info: info, reducer: r}
+}
+
+type linialMachine struct {
+	info    sim.NodeInfo
+	reducer *Reducer
+}
+
+// colorMsg carries a node's current color.
+type colorMsg struct{ color int64 }
+
+func (m *linialMachine) Step(round int, recv []any) ([]any, bool) {
+	if round > 0 {
+		nbr := make([]int64, len(recv))
+		for i, msg := range recv {
+			nbr[i] = -1
+			if cm, ok := msg.(colorMsg); ok {
+				nbr[i] = cm.color
+			}
+		}
+		if err := m.reducer.Advance(nbr); err != nil {
+			// Invariant violation inside a deterministic lockstep schedule is
+			// a programming error, not a runtime condition.
+			panic(err)
+		}
+		if m.reducer.Done() {
+			return nil, true
+		}
+	}
+	send := make([]any, m.info.Degree)
+	for i := range send {
+		send[i] = colorMsg{color: m.reducer.Color()}
+	}
+	return send, false
+}
+
+func (m *linialMachine) Output() any { return m.reducer.Color() }
+
+// TwoColorPathAlgorithm 2-colors a path graph in Θ(n) worst-case rounds:
+// each endpoint floods its identifier and a hop counter; a node terminates
+// once it has heard from both endpoints, coloring itself by the parity of
+// its distance to the endpoint with the smaller identifier. All nodes agree
+// on the orientation, so the coloring is proper; every node needs
+// max(d_left, d_right) rounds, so both worst-case and node-averaged cost are
+// Θ(n) — the paper's Corollary 60 regime.
+type TwoColorPathAlgorithm struct{}
+
+var _ sim.Algorithm = TwoColorPathAlgorithm{}
+
+// Name implements sim.Algorithm.
+func (TwoColorPathAlgorithm) Name() string { return "two-color-path" }
+
+// NewMachine implements sim.Algorithm.
+func (TwoColorPathAlgorithm) NewMachine(info sim.NodeInfo) sim.Machine {
+	return &twoColorMachine{info: info}
+}
+
+// endpointMsg carries an endpoint's ID and the hop distance travelled so
+// far.
+type endpointMsg struct {
+	id   uint64
+	dist int
+}
+
+type twoColorMachine struct {
+	info sim.NodeInfo
+	// ends[p] is the endpoint info learned from the direction of port p.
+	ends  []endpointMsg
+	known []bool
+	sent  []bool
+	out   int64
+}
+
+func (m *twoColorMachine) Step(round int, recv []any) ([]any, bool) {
+	if m.ends == nil {
+		m.ends = make([]endpointMsg, m.info.Degree)
+		m.known = make([]bool, m.info.Degree)
+		m.sent = make([]bool, m.info.Degree)
+	}
+	for p, msg := range recv {
+		if em, ok := msg.(endpointMsg); ok && !m.known[p] {
+			m.ends[p] = em
+			m.known[p] = true
+		}
+	}
+	switch m.info.Degree {
+	case 0:
+		m.out = 0
+		return nil, true
+	case 1:
+		// Endpoint: announce self once, then wait for the other endpoint.
+		var send []any
+		if !m.sent[0] {
+			send = []any{endpointMsg{id: m.info.ID, dist: 1}}
+			m.sent[0] = true
+		}
+		if m.known[0] {
+			m.out = m.colorFrom(endpointMsg{id: m.info.ID, dist: 0}, m.ends[0])
+			return send, true
+		}
+		return send, false
+	default: // degree 2 interior node
+		send := make([]any, 2)
+		for p := 0; p < 2; p++ {
+			other := 1 - p
+			if m.known[other] && !m.sent[p] {
+				send[p] = endpointMsg{id: m.ends[other].id, dist: m.ends[other].dist + 1}
+				m.sent[p] = true
+			}
+		}
+		if m.known[0] && m.known[1] {
+			m.out = m.colorFrom(m.ends[0], m.ends[1])
+			return send, true
+		}
+		return send, false
+	}
+}
+
+// colorFrom colors by parity of the distance to the smaller-ID endpoint.
+func (m *twoColorMachine) colorFrom(a, b endpointMsg) int64 {
+	ref := a
+	if b.id < a.id {
+		ref = b
+	}
+	return int64(ref.dist % 2)
+}
+
+func (m *twoColorMachine) Output() any { return m.out }
+
+// VerifyProperColoring checks that no edge of the graph has equal colors at
+// its endpoints. colors[v] is the color of node v.
+type edgeLister interface {
+	Edges() [][2]int
+}
+
+// VerifyProperColoring reports the first monochromatic edge, or ok.
+func VerifyProperColoring(g edgeLister, colors []int64) (ok bool, badU, badV int) {
+	for _, e := range g.Edges() {
+		if colors[e[0]] == colors[e[1]] {
+			return false, e[0], e[1]
+		}
+	}
+	return true, -1, -1
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHierarchical35SlopeIsLinearInScale(t *testing.T) {
+	res, err := Hierarchical35(2, []int{4, 8, 16, 24}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slope < 0.7 || res.Slope > 1.3 {
+		t.Fatalf("slope %.3f, want ~1 (Theorem 11 shape)", res.Slope)
+	}
+}
+
+func TestHierarchical35K3(t *testing.T) {
+	res, err := Hierarchical35(3, []int{2, 3, 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatal("missing points")
+	}
+}
+
+func TestWeighted25SlopeMatchesAlpha1(t *testing.T) {
+	res, err := Weighted25(5, 2, 2, []int{4000, 16000, 64000}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slope < res.TheorySlope-0.2 || res.Slope > res.TheorySlope+0.25 {
+		t.Fatalf("slope %.3f, theory %.3f", res.Slope, res.TheorySlope)
+	}
+}
+
+func TestWeighted35SlopeWithinBand(t *testing.T) {
+	res, err := Weighted35(7, 3, 2, []int{8, 16, 32, 64}, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slope < res.TheorySlope-0.35 || res.Slope > res.TheoryUpper+0.35 {
+		t.Fatalf("slope %.3f outside [%.3f, %.3f] (±0.35)",
+			res.Slope, res.TheorySlope, res.TheoryUpper)
+	}
+}
+
+func TestWeightAugmentedSlopeIsHalfForK2(t *testing.T) {
+	res, err := WeightAugmented(2, 5, []int{2000, 8000, 32000}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slope < 0.3 || res.Slope > 0.7 {
+		t.Fatalf("slope %.3f, want ~0.5 (Lemma 69)", res.Slope)
+	}
+}
+
+func TestTwoColoringGapSlopeIsLinear(t *testing.T) {
+	res, err := TwoColoringGap([]int{200, 400, 800}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slope < 0.85 || res.Slope > 1.15 {
+		t.Fatalf("slope %.3f, want ~1 (Corollary 60)", res.Slope)
+	}
+}
+
+func TestCopyFractionSlopeMatchesX(t *testing.T) {
+	res, err := CopyFraction(5, 2, []int{500, 2000, 8000, 32000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slope < res.TheorySlope-0.15 || res.Slope > res.TheorySlope+0.15 {
+		t.Fatalf("slope %.3f, theory x = %.3f", res.Slope, res.TheorySlope)
+	}
+}
+
+func TestDensityTables(t *testing.T) {
+	tb, err := DensityPoly([][2]float64{{0.1, 0.2}, {0.3, 0.4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatal("missing poly density rows")
+	}
+	tb2, err := DensityLogStar([][2]float64{{0.3, 0.5}}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb2.Rows) != 1 {
+		t.Fatal("missing log* density rows")
+	}
+}
+
+func TestPathLCLTable(t *testing.T) {
+	tb, err := PathLCLTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := tb.Format()
+	for _, want := range []string{"2-coloring", "Θ(n)", "3-coloring", "Θ(log* n)"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("table missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestLandscapeFigures(t *testing.T) {
+	f1, f2 := LandscapeFigures()
+	if len(f1.Rows) < 5 || len(f2.Rows) < 7 {
+		t.Fatal("figure tables too small")
+	}
+	if !strings.Contains(f2.Format(), "Theorem 7") {
+		t.Fatal("Figure 2 missing the new gap")
+	}
+}
+
+func TestTableFormatsRender(t *testing.T) {
+	res, err := TwoColoringGap([]int{100, 200}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Table.Format(), "node-avg") {
+		t.Fatal("plain format broken")
+	}
+	if !strings.Contains(res.Table.Markdown(), "| n |") {
+		t.Fatal("markdown format broken")
+	}
+}
+
+func TestSurvivorCounts(t *testing.T) {
+	tb, err := SurvivorCounts([]int{40, 60}, []int{5, 10, 20, 40}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("got %d rows", len(tb.Rows))
+	}
+}

@@ -1,0 +1,248 @@
+// Package decomp implements the rake-and-compress tree decompositions the
+// paper's algorithms build on: the (γ, ℓ, L)-decomposition of Definition 71
+// (computable in O(k·n^{1/k}) rounds for γ ≈ n^{1/k}, or O(log n) rounds for
+// γ = 1; Lemma 72) and the relaxed (γ, ℓ, i)-decomposition of Definition 43
+// that does not split long compress paths.
+//
+// The decomposition drives (a) the k-hierarchical labeling solver of
+// Lemma 65, and (b) the round accounting of the weight-node side of the
+// Π^{3.5} algorithm (Section 8), where a node's termination round is
+// proportional to the iteration in which it is assigned a layer and the
+// number of still-unassigned nodes decays geometrically with the iteration
+// (the substitute for [BBK+23a]'s Fast Decomposition Algorithm; see
+// DESIGN.md).
+package decomp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Kind distinguishes rake and compress layers.
+type Kind uint8
+
+// Layer kinds.
+const (
+	KindNone     Kind = iota
+	KindRake          // removed as a degree-<=1 node
+	KindCompress      // removed as part of a long degree-2 path
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindRake:
+		return "rake"
+	case KindCompress:
+		return "compress"
+	default:
+		return "none"
+	}
+}
+
+// Assignment records where a node landed in the decomposition.
+type Assignment struct {
+	Kind Kind
+	// Iter is the 1-based iteration (layer number).
+	Iter int
+	// Sub is the 1-based rake sub-layer within the iteration (1..γ); 0 for
+	// compress assignments.
+	Sub int
+	// PathID identifies the compress path the node belongs to (-1 for rake).
+	PathID int
+}
+
+// Decomposition is the result of Compute.
+type Decomposition struct {
+	Assign []Assignment
+	// Iters is the number of iterations used.
+	Iters int
+	// Paths lists the node sets of compress paths, ordered along the path;
+	// Assign[v].PathID indexes into this slice.
+	Paths [][]int
+}
+
+// Options configures Compute.
+type Options struct {
+	// Gamma is the number of rake sub-rounds per iteration (γ >= 1).
+	Gamma int
+	// Ell is the minimum compress-path length (ℓ >= 1). Runs of degree-2
+	// nodes shorter than Ell are left for later iterations.
+	Ell int
+	// SplitPaths selects the full Definition-71 behavior: long degree-2 runs
+	// are cut into compress paths of length in [Ell, 2*Ell] with single
+	// promoted separator nodes left alive in between. Without it, whole runs
+	// become one compress path (the relaxed decomposition of Definition 43).
+	SplitPaths bool
+	// MaxIters aborts if the decomposition does not finish (safety bound);
+	// 0 means 4n+16.
+	MaxIters int
+}
+
+// ErrBadOptions indicates invalid decomposition options.
+var ErrBadOptions = errors.New("invalid decomposition options")
+
+// GammaForK returns the rake width γ = ⌈n^{1/k} · (ℓ/2)^{1−1/k}⌉ of
+// Lemma 72, which yields a (γ, ℓ, k)-decomposition (at most k iterations).
+func GammaForK(n, ell, k int) int {
+	if n < 1 || k < 1 {
+		return 1
+	}
+	inv := 1 / float64(k)
+	g := int(math.Pow(float64(n), inv)*math.Pow(float64(ell)/2, 1-inv)) + 1
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// Compute peels tree t into rake and compress layers.
+func Compute(t *graph.Tree, opts Options) (*Decomposition, error) {
+	if opts.Gamma < 1 {
+		return nil, fmt.Errorf("%w: gamma = %d", ErrBadOptions, opts.Gamma)
+	}
+	if opts.Ell < 1 {
+		return nil, fmt.Errorf("%w: ell = %d", ErrBadOptions, opts.Ell)
+	}
+	n := t.N()
+	maxIters := opts.MaxIters
+	if maxIters == 0 {
+		maxIters = 4*n + 16
+	}
+	d := &Decomposition{Assign: make([]Assignment, n)}
+	alive := make([]bool, n)
+	deg := make([]int, n)
+	for v := 0; v < n; v++ {
+		alive[v] = true
+		deg[v] = t.Degree(v)
+	}
+	remaining := n
+	remove := func(v int, a Assignment) {
+		d.Assign[v] = a
+		alive[v] = false
+		remaining--
+		for _, w := range t.NeighborsRaw(v) {
+			if alive[w] {
+				deg[w]--
+			}
+		}
+	}
+	for iter := 1; remaining > 0; iter++ {
+		if iter > maxIters {
+			return nil, fmt.Errorf("decomp: not finished after %d iterations (%d nodes left)",
+				maxIters, remaining)
+		}
+		d.Iters = iter
+		// Rake sub-rounds.
+		for sub := 1; sub <= opts.Gamma && remaining > 0; sub++ {
+			var batch []int
+			for v := 0; v < n; v++ {
+				if alive[v] && deg[v] <= 1 {
+					batch = append(batch, v)
+				}
+			}
+			for _, v := range batch {
+				remove(v, Assignment{Kind: KindRake, Iter: iter, Sub: sub, PathID: -1})
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+		// Compress: maximal runs of alive degree-2 nodes.
+		for _, run := range degree2Runs(t, alive, deg) {
+			if len(run) < opts.Ell {
+				continue
+			}
+			chunks := [][]int{run}
+			if opts.SplitPaths {
+				chunks = splitRun(run, opts.Ell)
+			}
+			for _, chunk := range chunks {
+				id := len(d.Paths)
+				d.Paths = append(d.Paths, chunk)
+				for _, v := range chunk {
+					remove(v, Assignment{Kind: KindCompress, Iter: iter, PathID: id})
+				}
+			}
+		}
+	}
+	return d, nil
+}
+
+// degree2Runs returns the maximal chains of alive nodes whose alive-degree
+// is exactly 2, each ordered along the chain.
+func degree2Runs(t *graph.Tree, alive []bool, deg []int) [][]int {
+	n := t.N()
+	isMid := func(v int) bool { return alive[v] && deg[v] == 2 }
+	seen := make([]bool, n)
+	var runs [][]int
+	for v := 0; v < n; v++ {
+		if !isMid(v) || seen[v] {
+			continue
+		}
+		end := walkToEnd(t, alive, deg, v)
+		runs = append(runs, collectRun(t, alive, deg, end, seen))
+	}
+	return runs
+}
+
+func walkToEnd(t *graph.Tree, alive []bool, deg []int, v int) int {
+	isMid := func(u int) bool { return alive[u] && deg[u] == 2 }
+	prev, cur := -1, v
+	for {
+		next := -1
+		for _, w := range t.NeighborsRaw(cur) {
+			u := int(w)
+			if u != prev && isMid(u) {
+				next = u
+				break
+			}
+		}
+		if next == -1 {
+			return cur
+		}
+		prev, cur = cur, next
+	}
+}
+
+func collectRun(t *graph.Tree, alive []bool, deg []int, end int, seen []bool) []int {
+	isMid := func(u int) bool { return alive[u] && deg[u] == 2 }
+	run := []int{end}
+	seen[end] = true
+	prev, cur := -1, end
+	for {
+		next := -1
+		for _, w := range t.NeighborsRaw(cur) {
+			u := int(w)
+			if u != prev && isMid(u) && !seen[u] {
+				next = u
+				break
+			}
+		}
+		if next == -1 {
+			return run
+		}
+		seen[next] = true
+		run = append(run, next)
+		prev, cur = cur, next
+	}
+}
+
+// splitRun cuts a run of degree-2 nodes into chunks of length in [ell, 2ell]
+// separated by single promoted nodes (which stay alive and join a later
+// layer): while more than 2ℓ nodes remain, emit an ℓ-node chunk and skip one
+// separator; the final chunk then has between ℓ and 2ℓ nodes.
+func splitRun(run []int, ell int) [][]int {
+	var chunks [][]int
+	for len(run) > 2*ell {
+		chunks = append(chunks, run[:ell])
+		run = run[ell+1:] // skip one promoted separator node
+	}
+	if len(run) >= ell {
+		chunks = append(chunks, run)
+	}
+	return chunks
+}

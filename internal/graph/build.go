@@ -1,0 +1,186 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadParam indicates an invalid construction parameter.
+var ErrBadParam = errors.New("invalid construction parameter")
+
+// BuildPath returns a simple path with n >= 1 nodes, indexed 0..n-1 in path
+// order.
+func BuildPath(n int) (*Tree, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: path length %d", ErrBadParam, n)
+	}
+	b := NewBuilder(n)
+	b.AddNodes(n)
+	for i := 1; i < n; i++ {
+		if err := b.AddEdge(i-1, i); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// BuildStar returns a star with one center (index 0) and leaves 1..n-1.
+func BuildStar(n int) (*Tree, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: star size %d", ErrBadParam, n)
+	}
+	b := NewBuilder(n)
+	b.AddNodes(n)
+	for i := 1; i < n; i++ {
+		if err := b.AddEdge(0, i); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// BuildBalanced returns a balanced tree with maximum degree delta and exactly
+// size nodes: node 0 is the root with up to delta-1 children and every other
+// internal node has up to delta-1 children, filled in BFS order. This is the
+// "balanced Δ-regular tree of weight nodes" shape used by Lemma 23 and the
+// weighted construction (Definition 25); its root is meant to be attached to
+// one further node, bringing the root's total degree to delta.
+func BuildBalanced(delta, size int) (*Tree, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("%w: balanced tree size %d", ErrBadParam, size)
+	}
+	if delta < 2 {
+		return nil, fmt.Errorf("%w: balanced tree degree %d < 2", ErrBadParam, delta)
+	}
+	b := NewBuilder(size)
+	b.AddNodes(size)
+	fan := delta - 1
+	next := 1
+	for v := 0; v < size && next < size; v++ {
+		for c := 0; c < fan && next < size; c++ {
+			if err := b.AddEdge(v, next); err != nil {
+				return nil, err
+			}
+			next++
+		}
+	}
+	return b.Build()
+}
+
+// BuildCaterpillar returns a spine path of spineLen nodes with legLen-node
+// legs attached to every spine node. Used as a generic test workload.
+func BuildCaterpillar(spineLen, legLen int) (*Tree, error) {
+	if spineLen < 1 || legLen < 0 {
+		return nil, fmt.Errorf("%w: caterpillar %dx%d", ErrBadParam, spineLen, legLen)
+	}
+	b := NewBuilder(spineLen * (legLen + 1))
+	b.AddNodes(spineLen)
+	for i := 1; i < spineLen; i++ {
+		if err := b.AddEdge(i-1, i); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < spineLen; i++ {
+		if _, err := b.AttachPath(i, legLen); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// Hierarchical is a k-hierarchical lower-bound graph (Definition 18) together
+// with its construction metadata.
+type Hierarchical struct {
+	Tree *Tree
+	// K is the number of levels.
+	K int
+	// Lengths are the path-length parameters ell_1..ell_k (Lengths[i-1] is
+	// ell_i).
+	Lengths []int
+	// ConsLevel[v] is the construction level of node v: the level of the path
+	// v was created in. Construction levels agree with the peeling levels of
+	// Definition 8 except possibly at O(1) boundary nodes per path (path
+	// endpoints whose degree drops early); solvers and verifiers always use
+	// ComputeLevels, this field is for instrumentation.
+	ConsLevel []uint8
+	// Paths[i-1] lists the node index sequences of the level-i paths in
+	// construction order.
+	Paths [][][]int
+}
+
+// BuildHierarchical builds the k-hierarchical lower-bound graph of
+// Definition 18 with parameters lengths = (ell_1, ..., ell_k): start from a
+// path of length ell_k (the level-k path); then for i = k-1 down to 1, attach
+// to every node of every level-(i+1) path a fresh path of length ell_i.
+func BuildHierarchical(lengths []int) (*Hierarchical, error) {
+	k := len(lengths)
+	if k < 1 {
+		return nil, fmt.Errorf("%w: hierarchical needs at least one level", ErrBadParam)
+	}
+	for i, l := range lengths {
+		if l < 1 {
+			return nil, fmt.Errorf("%w: ell_%d = %d", ErrBadParam, i+1, l)
+		}
+	}
+	total := totalHierarchicalNodes(lengths)
+	b := NewBuilder(total)
+	h := &Hierarchical{
+		K:       k,
+		Lengths: append([]int(nil), lengths...),
+		Paths:   make([][][]int, k),
+	}
+	// Level-k path.
+	first := b.AddNodes(lengths[k-1])
+	top := make([]int, lengths[k-1])
+	for i := range top {
+		top[i] = first + i
+		if i > 0 {
+			if err := b.AddEdge(top[i-1], top[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	h.Paths[k-1] = [][]int{top}
+	// Levels k-1 .. 1.
+	for i := k - 1; i >= 1; i-- {
+		for _, parent := range h.Paths[i] { // level-(i+1) paths live at index i
+			for _, v := range parent {
+				path, err := b.AttachPath(v, lengths[i-1])
+				if err != nil {
+					return nil, err
+				}
+				h.Paths[i-1] = append(h.Paths[i-1], path)
+			}
+		}
+	}
+	tree, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	h.Tree = tree
+	h.ConsLevel = make([]uint8, tree.N())
+	for i := 0; i < k; i++ {
+		for _, p := range h.Paths[i] {
+			for _, v := range p {
+				h.ConsLevel[v] = uint8(i + 1)
+			}
+		}
+	}
+	return h, nil
+}
+
+func totalHierarchicalNodes(lengths []int) int {
+	k := len(lengths)
+	// Number of level-i nodes is prod_{j=i..k} ell_j.
+	total := 0
+	prod := 1
+	for i := k - 1; i >= 0; i-- {
+		prod *= lengths[i]
+		total += prod
+	}
+	return total
+}
+
+// HierarchicalSize returns the total node count of the lower-bound graph for
+// the given length parameters without building it.
+func HierarchicalSize(lengths []int) int { return totalHierarchicalNodes(lengths) }

@@ -1,0 +1,300 @@
+// Package graph provides the tree substrate used throughout the library:
+// bounded-degree trees, the constructions from the paper (paths, balanced
+// Δ-regular trees, k-hierarchical lower-bound graphs, weighted constructions),
+// and the level computation of Definition 8.
+//
+// Nodes are identified by dense indices 0..N-1. Indices are a property of the
+// *construction*, not of the LOCAL model; distributed identifiers are assigned
+// separately by the simulator (package sim).
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Common errors returned by graph construction and validation.
+var (
+	ErrNotATree      = errors.New("graph is not a tree")
+	ErrNotConnected  = errors.New("graph is not connected")
+	ErrSelfLoop      = errors.New("self loops are not allowed")
+	ErrDuplicateEdge = errors.New("duplicate edge")
+	ErrNodeRange     = errors.New("node index out of range")
+	ErrEmpty         = errors.New("graph has no nodes")
+)
+
+// Tree is an immutable bounded-degree tree stored as adjacency lists.
+// The zero value is not usable; construct trees with a Builder or one of the
+// Build* helpers.
+type Tree struct {
+	adj [][]int32
+	m   int // number of edges
+}
+
+// N returns the number of nodes.
+func (t *Tree) N() int { return len(t.adj) }
+
+// M returns the number of edges.
+func (t *Tree) M() int { return t.m }
+
+// Degree returns the degree of node v.
+func (t *Tree) Degree(v int) int { return len(t.adj[v]) }
+
+// MaxDegree returns the maximum degree over all nodes (0 for a single node).
+func (t *Tree) MaxDegree() int {
+	max := 0
+	for _, nb := range t.adj {
+		if len(nb) > max {
+			max = len(nb)
+		}
+	}
+	return max
+}
+
+// Neighbors returns a copy of the neighbor list of v.
+func (t *Tree) Neighbors(v int) []int {
+	out := make([]int, len(t.adj[v]))
+	for i, u := range t.adj[v] {
+		out[i] = int(u)
+	}
+	return out
+}
+
+// NeighborsRaw returns the internal neighbor slice of v. Callers must not
+// modify the returned slice; it is exposed for hot paths inside this module.
+func (t *Tree) NeighborsRaw(v int) []int32 { return t.adj[v] }
+
+// Neighbor returns the i-th neighbor (port i) of v.
+func (t *Tree) Neighbor(v, i int) int { return int(t.adj[v][i]) }
+
+// HasEdge reports whether {u,v} is an edge.
+func (t *Tree) HasEdge(u, v int) bool {
+	for _, w := range t.adj[u] {
+		if int(w) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Edges returns all edges as pairs (u,v) with u < v.
+func (t *Tree) Edges() [][2]int {
+	out := make([][2]int, 0, t.m)
+	for u := range t.adj {
+		for _, w := range t.adj[u] {
+			if u < int(w) {
+				out = append(out, [2]int{u, int(w)})
+			}
+		}
+	}
+	return out
+}
+
+// BFS computes hop distances from src. Unreachable nodes get -1 (cannot
+// happen on a valid tree).
+func (t *Tree) BFS(src int) []int {
+	dist := make([]int, t.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, t.N())
+	queue = append(queue, int32(src))
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range t.adj[v] {
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Eccentricity returns the maximum hop distance from v to any node.
+func (t *Tree) Eccentricity(v int) int {
+	ecc := 0
+	for _, d := range t.BFS(v) {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the hop diameter of the tree using the classic double-BFS
+// (exact on trees).
+func (t *Tree) Diameter() int {
+	if t.N() == 0 {
+		return 0
+	}
+	dist := t.BFS(0)
+	far := argmax(dist)
+	dist = t.BFS(far)
+	return dist[argmax(dist)]
+}
+
+// Ball returns the set of nodes within hop distance r of v, in BFS order.
+func (t *Tree) Ball(v, r int) []int {
+	dist := make(map[int32]int, 2*r+1)
+	dist[int32(v)] = 0
+	order := []int{v}
+	queue := []int32{int32(v)}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if dist[u] == r {
+			continue
+		}
+		for _, w := range t.adj[u] {
+			if _, ok := dist[w]; !ok {
+				dist[w] = dist[u] + 1
+				order = append(order, int(w))
+				queue = append(queue, w)
+			}
+		}
+	}
+	return order
+}
+
+// IsPathGraph reports whether the tree is a simple path (every node has
+// degree at most 2).
+func (t *Tree) IsPathGraph() bool {
+	for v := range t.adj {
+		if len(t.adj[v]) > 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the structural tree invariants: connected, acyclic
+// (m == n-1 together with connectivity), no self loops, no duplicate edges.
+func (t *Tree) Validate() error {
+	n := t.N()
+	if n == 0 {
+		return ErrEmpty
+	}
+	if t.m != n-1 {
+		return fmt.Errorf("%w: %d nodes but %d edges", ErrNotATree, n, t.m)
+	}
+	seen := 0
+	for _, d := range t.BFS(0) {
+		if d >= 0 {
+			seen++
+		}
+	}
+	if seen != n {
+		return fmt.Errorf("%w: BFS reached %d of %d nodes", ErrNotConnected, seen, n)
+	}
+	for v := range t.adj {
+		mark := make(map[int32]bool, len(t.adj[v]))
+		for _, w := range t.adj[v] {
+			if int(w) == v {
+				return fmt.Errorf("%w at node %d", ErrSelfLoop, v)
+			}
+			if mark[w] {
+				return fmt.Errorf("%w: {%d,%d}", ErrDuplicateEdge, v, w)
+			}
+			mark[w] = true
+		}
+	}
+	return nil
+}
+
+func argmax(xs []int) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Builder incrementally constructs a Tree.
+type Builder struct {
+	adj [][]int32
+	m   int
+}
+
+// NewBuilder returns a Builder with capacity hints for n nodes.
+func NewBuilder(n int) *Builder {
+	return &Builder{adj: make([][]int32, 0, n)}
+}
+
+// AddNode appends a new isolated node and returns its index.
+func (b *Builder) AddNode() int {
+	b.adj = append(b.adj, nil)
+	return len(b.adj) - 1
+}
+
+// AddNodes appends k new isolated nodes and returns the index of the first.
+func (b *Builder) AddNodes(k int) int {
+	first := len(b.adj)
+	for i := 0; i < k; i++ {
+		b.adj = append(b.adj, nil)
+	}
+	return first
+}
+
+// AddEdge connects u and v. It does not check for cycles; Build does.
+func (b *Builder) AddEdge(u, v int) error {
+	if u < 0 || v < 0 || u >= len(b.adj) || v >= len(b.adj) {
+		return fmt.Errorf("%w: edge {%d,%d} with %d nodes", ErrNodeRange, u, v, len(b.adj))
+	}
+	if u == v {
+		return fmt.Errorf("%w: node %d", ErrSelfLoop, u)
+	}
+	b.adj[u] = append(b.adj[u], int32(v))
+	b.adj[v] = append(b.adj[v], int32(u))
+	b.m++
+	return nil
+}
+
+// N returns the current number of nodes in the builder.
+func (b *Builder) N() int { return len(b.adj) }
+
+// AttachPath appends a fresh path of length pathLen (pathLen new nodes) and
+// connects its first node to the existing node at. It returns the indices of
+// the new path nodes in order (the node adjacent to `at` first).
+func (b *Builder) AttachPath(at, pathLen int) ([]int, error) {
+	if pathLen <= 0 {
+		return nil, nil
+	}
+	first := b.AddNodes(pathLen)
+	nodes := make([]int, pathLen)
+	for i := 0; i < pathLen; i++ {
+		nodes[i] = first + i
+	}
+	if err := b.AddEdge(at, nodes[0]); err != nil {
+		return nil, err
+	}
+	for i := 1; i < pathLen; i++ {
+		if err := b.AddEdge(nodes[i-1], nodes[i]); err != nil {
+			return nil, err
+		}
+	}
+	return nodes, nil
+}
+
+// Build finalizes and validates the tree.
+func (b *Builder) Build() (*Tree, error) {
+	t := &Tree{adj: b.adj, m: b.m}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustBuild is Build for construction code with statically valid inputs;
+// it panics on error (program-construction failure, per style guide).
+func (b *Builder) MustBuild() *Tree {
+	t, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("graph: MustBuild: %v", err))
+	}
+	return t
+}

@@ -1,0 +1,74 @@
+package graph
+
+// Component is a connected induced subgraph, re-indexed as its own Tree.
+type Component struct {
+	// Tree is the component with nodes re-indexed 0..len(Nodes)-1.
+	Tree *Tree
+	// Nodes maps component indices back to indices of the parent graph.
+	Nodes []int
+	// index maps parent-graph indices to component indices (sized to the
+	// component, not the parent graph).
+	index map[int]int
+}
+
+// IndexOf returns the component index of a parent-graph node, or -1 if the
+// node is not part of the component.
+func (c *Component) IndexOf(parent int) int {
+	if i, ok := c.index[parent]; ok {
+		return i
+	}
+	return -1
+}
+
+// InducedComponents returns the connected components of the subgraph of t
+// induced by the nodes with mask[v] == true.
+func InducedComponents(t *Tree, mask []bool) []*Component {
+	n := t.N()
+	seen := make([]bool, n)
+	var comps []*Component
+	for s := 0; s < n; s++ {
+		if !mask[s] || seen[s] {
+			continue
+		}
+		// BFS within the mask.
+		var nodes []int
+		seen[s] = true
+		queue := []int{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			nodes = append(nodes, v)
+			for _, w := range t.NeighborsRaw(v) {
+				u := int(w)
+				if mask[u] && !seen[u] {
+					seen[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+		index := make(map[int]int, len(nodes))
+		for i, v := range nodes {
+			index[v] = i
+		}
+		b := NewBuilder(len(nodes))
+		b.AddNodes(len(nodes))
+		for i, v := range nodes {
+			for _, w := range t.NeighborsRaw(v) {
+				u := int(w)
+				if j, ok := index[u]; ok && mask[u] && j > i {
+					if err := b.AddEdge(i, j); err != nil {
+						// Unreachable: indices are in range and distinct.
+						panic(err)
+					}
+				}
+			}
+		}
+		tree, err := b.Build()
+		if err != nil {
+			// Unreachable: an induced connected subgraph of a tree is a tree.
+			panic(err)
+		}
+		comps = append(comps, &Component{Tree: tree, Nodes: nodes, index: index})
+	}
+	return comps
+}

@@ -1,0 +1,158 @@
+package hierarchy
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// TestVerifierTotalOnGarbage: the verifier must reject-or-accept arbitrary
+// garbage without panicking, and must always reject labelings containing
+// LabelNone or out-of-alphabet values.
+func TestVerifierTotalOnGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	h, err := graph.BuildHierarchical([]int{5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := graph.ComputeLevels(h.Tree, 2)
+	for _, variant := range []Variant{Coloring25, Coloring35} {
+		prob := Problem{K: 2, Variant: variant}
+		for trial := 0; trial < 300; trial++ {
+			out := make([]Label, h.Tree.N())
+			for v := range out {
+				out[v] = Label(rng.Intn(9)) // includes LabelNone and invalid 8
+			}
+			err := prob.Verify(h.Tree, levels, out) // must not panic
+			hasBad := false
+			for _, l := range out {
+				if l == LabelNone || l > LabelY {
+					hasBad = true
+				}
+			}
+			if hasBad && err == nil {
+				t.Fatalf("garbage labeling accepted: %v", out[:10])
+			}
+		}
+	}
+}
+
+// TestVerifierCatchesSingleMutations: every single-node mutation of a valid
+// output that changes a constrained aspect must be caught or remain valid;
+// specifically, flipping a level-1 node to E or a level-k node to D is
+// always caught.
+func TestVerifierCatchesSingleMutations(t *testing.T) {
+	h, err := graph.BuildHierarchical([]int{6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := h.Tree
+	levels := graph.ComputeLevels(tr, 2)
+	prob := Problem{K: 2, Variant: Coloring35}
+	sched := mustSchedule(t, 2, Coloring35, []int{4})
+	ids := sim.DefaultIDs(tr.N(), 17)
+	ex, err := RunAnalytic(tr, levels, sched, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prob.Verify(tr, levels, ex.Out); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < tr.N(); v++ {
+		switch levels[v] {
+		case 1:
+			out := append([]Label(nil), ex.Out...)
+			out[v] = LabelE
+			if prob.Verify(tr, levels, out) == nil {
+				t.Fatalf("level-1 node %d flipped to E accepted", v)
+			}
+		case 2:
+			out := append([]Label(nil), ex.Out...)
+			out[v] = LabelD
+			if prob.Verify(tr, levels, out) == nil {
+				t.Fatalf("level-k node %d flipped to D accepted", v)
+			}
+		}
+	}
+}
+
+// TestAnalyticMatchesSimUnderManySeeds widens the sim/analytic equivalence
+// to many ID assignments (the coloring decisions depend on IDs).
+func TestAnalyticMatchesSimUnderManySeeds(t *testing.T) {
+	h, err := graph.BuildHierarchical([]int{4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 20; seed++ {
+		sched := mustSchedule(t, 2, Coloring25, []int{3})
+		runBoth(t, h.Tree, sched, seed)
+	}
+}
+
+// TestGenericHandlesStarAndSingleton covers degenerate shapes.
+func TestGenericHandlesStarAndSingleton(t *testing.T) {
+	star, err := graph.BuildStar(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, variant := range []Variant{Coloring25, Coloring35} {
+		sched := mustSchedule(t, 2, variant, []int{2})
+		runBoth(t, star, sched, uint64(variant)+50)
+	}
+	single, err := graph.BuildPath(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := mustSchedule(t, 1, Coloring35, nil)
+	runBoth(t, single, sched, 3)
+}
+
+// TestLowerBoundDeclineStructure checks the Lemma 20/26 mechanism on the
+// lower-bound instance: with γ_1 <= ℓ_1 every level-1 path has length >= γ_1
+// and must go all-Decline, forcing the level-2 path to be colored.
+func TestLowerBoundDeclineStructure(t *testing.T) {
+	lengths := []int{10, 12}
+	h, err := graph.BuildHierarchical(lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := h.Tree
+	levels := graph.ComputeLevels(tr, 2)
+	sched := mustSchedule(t, 2, Coloring35, []int{10}) // γ1 = ℓ1
+	ids := sim.DefaultIDs(tr.N(), 4)
+	ex, err := RunAnalytic(tr, levels, sched, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	declined, colored := 0, 0
+	for v := range ex.Out {
+		switch {
+		case levels[v] == 1 && ex.Out[v] == LabelD:
+			declined++
+		case levels[v] == 2 && ex.Out[v].IsTriColor():
+			colored++
+		}
+	}
+	// Most level-1 nodes decline (up to boundary erosion), and the level-2
+	// core must 3-color.
+	if declined < tr.N()/2 {
+		t.Fatalf("only %d declining level-1 nodes of %d", declined, tr.N())
+	}
+	if colored < lengths[1]/2 {
+		t.Fatalf("only %d colored level-2 nodes", colored)
+	}
+}
+
+// TestGenericK4 exercises a deeper hierarchy end to end.
+func TestGenericK4(t *testing.T) {
+	h, err := graph.BuildHierarchical([]int{3, 3, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, variant := range []Variant{Coloring25, Coloring35} {
+		sched := mustSchedule(t, 4, variant, []int{2, 2, 3})
+		runBoth(t, h.Tree, sched, uint64(variant)*11+1)
+	}
+}

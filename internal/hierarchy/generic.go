@@ -1,0 +1,413 @@
+package hierarchy
+
+import (
+	"fmt"
+
+	"repro/internal/coloring"
+	"repro/internal/sim"
+)
+
+// Params configures the generic algorithm of Section 4.1.
+type Params struct {
+	Problem Problem
+	// Gammas holds γ_1..γ_{k-1}: the path-length thresholds of phases
+	// 1..k-1 (Gammas[i-1] = γ_i). Must all be >= 1. Empty for k = 1.
+	Gammas []int
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if err := p.Problem.Validate(); err != nil {
+		return err
+	}
+	if len(p.Gammas) != p.Problem.K-1 {
+		return fmt.Errorf("hierarchy: %d gammas for k=%d (want k-1)", len(p.Gammas), p.Problem.K)
+	}
+	for i, g := range p.Gammas {
+		if g < 1 {
+			return fmt.Errorf("hierarchy: γ_%d = %d < 1", i+1, g)
+		}
+	}
+	return nil
+}
+
+// Schedule is the global round schedule of the generic algorithm, common
+// knowledge to all nodes (it depends only on the parameters):
+//
+//	round 0:                 level exchange; level-(k+1) nodes output E.
+//	phase i (i = 1..k-1):    rounds [Start(i), Start(i)+2γ_i]; level-i nodes
+//	                         explore their same-level active path and decide
+//	                         (D or a 2-coloring) exactly at Start(i)+2γ_i.
+//	                         The following k rounds absorb the E-propagation
+//	                         chains before the next phase begins.
+//	phase k:                 starts at Start(k); remaining level-k nodes
+//	                         2-color (2½, Θ(segment length)) or 3-color (3½,
+//	                         Linial, O(log* n)) their active segments.
+//
+// E-checks run in every round on every active node, so an Exempt output is
+// taken at the earliest legal round regardless of phase boundaries.
+type Schedule struct {
+	params Params
+	start  []int // start[i-1] = Start(i)
+}
+
+// NewSchedule validates params and precomputes phase starts.
+func NewSchedule(params Params) (*Schedule, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	k := params.Problem.K
+	start := make([]int, k)
+	s := 1
+	for i := 1; i < k; i++ {
+		start[i-1] = s
+		s += 2*params.Gammas[i-1] + k + 1
+	}
+	start[k-1] = s
+	return &Schedule{params: params, start: start}, nil
+}
+
+// Start returns the first round of phase i (1-based).
+func (s *Schedule) Start(i int) int { return s.start[i-1] }
+
+// DecisionRound returns the round at which level-i (i < k) path nodes decide.
+func (s *Schedule) DecisionRound(i int) int {
+	return s.start[i-1] + 2*s.params.Gammas[i-1]
+}
+
+// Generic is the sim.Algorithm implementing Section 4.1. Each node's input
+// must be its Definition-8 level (an int), as computed by
+// graph.ComputeLevels; the paper treats the level computation as a constant
+// (O(k)-round) preamble.
+type Generic struct {
+	Schedule *Schedule
+}
+
+var _ sim.Algorithm = Generic{}
+
+// Name implements sim.Algorithm.
+func (g Generic) Name() string {
+	return fmt.Sprintf("generic-%v-k%d", g.Schedule.params.Problem.Variant, g.Schedule.params.Problem.K)
+}
+
+// NewMachine implements sim.Algorithm.
+func (g Generic) NewMachine(info sim.NodeInfo) sim.Machine {
+	level, ok := info.Input.(int)
+	if !ok {
+		panic(fmt.Sprintf("hierarchy: node input must be its level (int), got %T", info.Input))
+	}
+	return &genericMachine{
+		info:     info,
+		sched:    g.Schedule,
+		level:    level,
+		nbrLevel: make([]int, info.Degree),
+		nbrOut:   make([]Label, info.Degree),
+		nbrDone:  make([]bool, info.Degree),
+	}
+}
+
+// Message types used by the generic algorithm.
+type (
+	levelMsg   struct{ level int }
+	segmentMsg struct {
+		// closed segment info travelling away from an endpoint: length is
+		// the number of nodes on that side including the endpoint, endID is
+		// the endpoint's identifier.
+		length int
+		endID  uint64
+	}
+	linialMsg struct{ color int64 }
+)
+
+type genericMachine struct {
+	info  sim.NodeInfo
+	sched *Schedule
+	level int
+
+	nbrLevel []int
+	nbrOut   []Label
+	nbrDone  []bool
+
+	// exploration state (used during this node's own phase)
+	exploreInit bool
+	activePorts []int        // same-level active ports (≤ 2)
+	sideInfo    []segmentMsg // per active port: info from that direction
+	sideKnown   []bool
+	sideSent    []bool // per active port: whether a closure was already sent
+
+	// Linial reducer state (3½ phase k)
+	reducer      *coloring.Reducer
+	linialColors []int64 // last color heard per port (-1 = unknown/masked)
+
+	out Label
+}
+
+func (m *genericMachine) Output() any { return m.out }
+
+func (m *genericMachine) Step(round int, recv []any) ([]any, bool) {
+	k := m.sched.params.Problem.K
+	if round == 0 {
+		send := make([]any, m.info.Degree)
+		for p := range send {
+			send[p] = levelMsg{level: m.level}
+		}
+		if m.level == k+1 {
+			// Definition 8/9: all level-(k+1) nodes must output E; no
+			// adjacency condition, so they terminate immediately.
+			m.out = LabelE
+			return send, true
+		}
+		return send, false
+	}
+	m.absorb(recv)
+
+	// E-check (every round): levels 2..k output E as soon as a lower-level
+	// neighbor is seen to have output W, B, or E. Level-k nodes must
+	// additionally confirm that no lower-level neighbor declined, which
+	// requires all lower-level neighbors to have terminated.
+	if m.level >= 2 && m.level <= k && m.eligibleForE() {
+		m.out = LabelE
+		return nil, true
+	}
+
+	if m.level < k {
+		return m.stepInnerPhase(round)
+	}
+	return m.stepFinalPhase(round)
+}
+
+// absorb folds the received messages into neighbor-tracking state.
+func (m *genericMachine) absorb(recv []any) {
+	for p, msg := range recv {
+		switch v := msg.(type) {
+		case levelMsg:
+			m.nbrLevel[p] = v.level
+		case sim.Terminated:
+			if lab, ok := v.Output.(Label); ok {
+				m.nbrOut[p] = lab
+				m.nbrDone[p] = true
+			}
+		case segmentMsg:
+			m.absorbSegment(p, v)
+		case linialMsg:
+			m.absorbLinial(p, v)
+		}
+	}
+}
+
+func (m *genericMachine) eligibleForE() bool {
+	k := m.sched.params.Problem.K
+	hasLowerColored := false
+	for p := 0; p < m.info.Degree; p++ {
+		if m.nbrLevel[p] == 0 || m.nbrLevel[p] >= m.level {
+			continue
+		}
+		if m.nbrOut[p].IsBiColor() || m.nbrOut[p] == LabelE {
+			hasLowerColored = true
+		}
+		if m.level == k {
+			if !m.nbrDone[p] || m.nbrOut[p] == LabelD {
+				return false
+			}
+		}
+	}
+	return hasLowerColored
+}
+
+// stepInnerPhase runs phases 1..k-1 for level-i nodes (i = m.level < k).
+func (m *genericMachine) stepInnerPhase(round int) ([]any, bool) {
+	i := m.level
+	start := m.sched.Start(i)
+	decision := m.sched.DecisionRound(i)
+	if round < start || round > decision {
+		return nil, false
+	}
+	if round == start {
+		m.initExploration()
+	}
+	send := m.relayClosures()
+	if round == decision {
+		gamma := m.sched.params.Gammas[i-1]
+		m.decidePath(gamma)
+		return send, true
+	}
+	return send, false
+}
+
+// initExploration fixes the same-level active ports at phase start; the
+// active structure is static during the phase (all other decisions happen at
+// earlier phase boundaries).
+func (m *genericMachine) initExploration() {
+	m.exploreInit = true
+	m.activePorts = m.activePorts[:0]
+	for p := 0; p < m.info.Degree; p++ {
+		if m.nbrLevel[p] == m.level && !m.nbrDone[p] {
+			m.activePorts = append(m.activePorts, p)
+		}
+	}
+	m.sideInfo = make([]segmentMsg, len(m.activePorts))
+	m.sideKnown = make([]bool, len(m.activePorts))
+	m.sideSent = make([]bool, len(m.activePorts))
+}
+
+func (m *genericMachine) absorbSegment(port int, msg segmentMsg) {
+	for a, p := range m.activePorts {
+		if p == port && !m.sideKnown[a] {
+			m.sideInfo[a] = msg
+			m.sideKnown[a] = true
+		}
+	}
+}
+
+// relayClosures emits, on each active port, the closure information of the
+// opposite side as soon as it is known (an absent opposite side means this
+// node is an endpoint: it announces itself).
+func (m *genericMachine) relayClosures() []any {
+	if !m.exploreInit {
+		return nil
+	}
+	var send []any
+	emit := func(port int, msg segmentMsg) {
+		if send == nil {
+			send = make([]any, m.info.Degree)
+		}
+		send[port] = msg
+	}
+	switch len(m.activePorts) {
+	case 0:
+		// Isolated active node: nothing to send.
+	case 1:
+		if !m.sideSent[0] {
+			emit(m.activePorts[0], segmentMsg{length: 1, endID: m.info.ID})
+			m.sideSent[0] = true
+		}
+	case 2:
+		for a := 0; a < 2; a++ {
+			other := 1 - a
+			if m.sideKnown[other] && !m.sideSent[a] {
+				emit(m.activePorts[a], segmentMsg{
+					length: m.sideInfo[other].length + 1,
+					endID:  m.sideInfo[other].endID,
+				})
+				m.sideSent[a] = true
+			}
+		}
+	}
+	return send
+}
+
+// segment returns the node's knowledge of its active path: whether both ends
+// are known, the total length, and the distance to the smaller-ID endpoint.
+func (m *genericMachine) segment() (closed bool, length, distToSmall int) {
+	type side struct {
+		len int
+		id  uint64
+	}
+	sides := make([]side, 0, 2)
+	for a := range m.activePorts {
+		if !m.sideKnown[a] {
+			return false, 0, 0
+		}
+		sides = append(sides, side{len: m.sideInfo[a].length, id: m.sideInfo[a].endID})
+	}
+	// Implicit own-side closure for endpoints/isolated nodes.
+	for len(sides) < 2 {
+		sides = append(sides, side{len: 0, id: m.info.ID})
+	}
+	length = sides[0].len + sides[1].len + 1
+	small := sides[0]
+	if sides[1].id < small.id {
+		small = sides[1]
+	}
+	return true, length, small.len
+}
+
+// decidePath implements the phase-i decision: paths of length >= γ_i output
+// Decline; shorter paths output a consistent 2-coloring (parity of the
+// distance to the smaller-ID endpoint).
+func (m *genericMachine) decidePath(gamma int) {
+	closed, length, dist := m.segment()
+	if !closed || length >= gamma {
+		m.out = LabelD
+		return
+	}
+	if dist%2 == 0 {
+		m.out = LabelW
+	} else {
+		m.out = LabelB
+	}
+}
+
+// stepFinalPhase runs phase k: the remaining level-k nodes either 2-color
+// their segments (2½, by endpoint flooding) or 3-color them (3½, Linial).
+func (m *genericMachine) stepFinalPhase(round int) ([]any, bool) {
+	k := m.sched.params.Problem.K
+	start := m.sched.Start(k)
+	if round < start {
+		return nil, false
+	}
+	if m.sched.params.Problem.Variant == Coloring25 {
+		if round == start {
+			m.initExploration()
+		}
+		send := m.relayClosures()
+		if closed, _, dist := m.segment(); closed {
+			if dist%2 == 0 {
+				m.out = LabelW
+			} else {
+				m.out = LabelB
+			}
+			return send, true
+		}
+		return send, false
+	}
+	// 3½: Linial 3-coloring on the active segment (Δ = 2), lockstep.
+	if round == start {
+		m.initExploration()
+		r, err := coloring.NewReducer(m.info.ID, 2, coloring.IDSpace63)
+		if err != nil {
+			panic(err) // static misuse: delta = 2 is always valid
+		}
+		m.reducer = r
+		m.linialColors = make([]int64, m.info.Degree)
+		for p := range m.linialColors {
+			m.linialColors[p] = -1
+		}
+	}
+	if round > start {
+		nbr := make([]int64, 0, len(m.activePorts))
+		for _, p := range m.activePorts {
+			nbr = append(nbr, m.linialColors[p])
+		}
+		if err := m.reducer.Advance(nbr); err != nil {
+			panic(err) // lockstep invariant violation is a programming error
+		}
+		if m.reducer.Done() {
+			m.out = triColor(m.reducer.Color())
+			return nil, true
+		}
+	}
+	send := make([]any, m.info.Degree)
+	for _, p := range m.activePorts {
+		send[p] = linialMsg{color: m.reducer.Color()}
+	}
+	return send, false
+}
+
+func (m *genericMachine) absorbLinial(port int, msg linialMsg) {
+	if m.linialColors != nil {
+		m.linialColors[port] = msg.color
+	}
+}
+
+// triColor maps Linial's {0,1,2} palette to the paper's {R,G,Y}.
+func triColor(c int64) Label {
+	switch c {
+	case 0:
+		return LabelR
+	case 1:
+		return LabelG
+	default:
+		return LabelY
+	}
+}

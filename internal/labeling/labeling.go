@@ -1,0 +1,362 @@
+// Package labeling implements Section 10 of the paper: the k-hierarchical
+// labeling LCL (Definition 63), its O(n^{1/k})-round solver via a
+// (γ, ℓ, k)-decomposition (Lemma 65), and the k-hierarchical
+// weight-augmented 2½-coloring (Definition 67) whose weight efficiency
+// factor is x = 1 (Lemma 68), closing the landscape at Θ(n^{1/k})
+// (Lemma 69) — in particular Θ(√n) for k = 2.
+package labeling
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/decomp"
+	"repro/internal/graph"
+)
+
+// Label is an output label of the k-hierarchical labeling problem: rake
+// labels R_1 < ... < R_k interleaved with compress labels C_1 < ... <
+// C_{k-1}, ordered R_1 < C_1 < R_2 < C_2 < ... < C_{k-1} < R_k.
+type Label uint8
+
+// Rake returns the label R_i (i >= 1).
+func Rake(i int) Label { return Label(2*i - 1) }
+
+// Compress returns the label C_i (i >= 1).
+func Compress(i int) Label { return Label(2 * i) }
+
+// IsRake reports whether l is a rake label.
+func (l Label) IsRake() bool { return l%2 == 1 }
+
+// Index returns i for R_i or C_i.
+func (l Label) Index() int {
+	if l.IsRake() {
+		return (int(l) + 1) / 2
+	}
+	return int(l) / 2
+}
+
+// String names the label.
+func (l Label) String() string {
+	if l == 0 {
+		return "none"
+	}
+	if l.IsRake() {
+		return fmt.Sprintf("R%d", l.Index())
+	}
+	return fmt.Sprintf("C%d", l.Index())
+}
+
+// Output is one node's output for the k-hierarchical labeling problem: a
+// label and the unique outgoing edge (OutNode = neighbor index, or -1).
+type Output struct {
+	Label   Label
+	OutNode int
+}
+
+// Solution is a full labeling with round accounting.
+type Solution struct {
+	Out []Output
+	// Rounds[v] is the round at which v fixed its (primary) output; the
+	// solver charges a node γ+2 rounds per decomposition iteration, for a
+	// worst case of O(k · n^{1/k}).
+	Rounds []int
+	// Iter[v] is the decomposition iteration in which v was assigned.
+	Iter []int
+	// Seq[v] is the removal sequence number of v; orientation targets always
+	// have strictly larger Seq, so processing nodes in decreasing Seq order
+	// resolves all copy dependencies.
+	Seq []int
+}
+
+// ErrInvalid wraps verifier failures; ErrInfeasible marks instances the
+// solver cannot label within k iterations.
+var (
+	ErrInvalid    = errors.New("k-hierarchical labeling output invalid")
+	ErrInfeasible = errors.New("k-hierarchical labeling solver infeasible on this instance")
+)
+
+// Solve computes a k-hierarchical labeling of t in worst-case O(k·n^{1/k})
+// rounds (Lemma 65), using a (γ, 4, k)-decomposition with γ from Lemma 72.
+// pinned marks nodes that must survive until their neighborhood is gone and
+// that point "outside" the graph (used by the weight-augmented problem,
+// where pinned nodes orient toward an active node); pinned entries get
+// OutNode = -1 here. pinned may be nil.
+func Solve(t *graph.Tree, k int, pinned []bool) (*Solution, error) {
+	n := t.N()
+	if k < 1 {
+		return nil, fmt.Errorf("labeling: k = %d < 1", k)
+	}
+	if pinned == nil {
+		pinned = make([]bool, n)
+	}
+	if len(pinned) != n {
+		return nil, fmt.Errorf("labeling: pinned length %d != n %d", len(pinned), n)
+	}
+	for v := 0; v < n; v++ {
+		if !pinned[v] {
+			continue
+		}
+		for _, w := range t.NeighborsRaw(v) {
+			if pinned[w] {
+				return nil, fmt.Errorf("%w: adjacent pinned nodes %d and %d", ErrInfeasible, v, int(w))
+			}
+		}
+	}
+	gamma := decomp.GammaForK(n, 4, k)
+	sol := &Solution{
+		Out:    make([]Output, n),
+		Rounds: make([]int, n),
+		Iter:   make([]int, n),
+		Seq:    make([]int, n),
+	}
+	seq := 0
+	alive := make([]bool, n)
+	deg := make([]int, n) // effective degree: +1 for pinned nodes
+	for v := 0; v < n; v++ {
+		alive[v] = true
+		deg[v] = t.Degree(v)
+		if pinned[v] {
+			deg[v]++
+		}
+	}
+	remaining := n
+	aliveNbr := func(v int) int {
+		for _, w := range t.NeighborsRaw(v) {
+			if alive[w] {
+				return int(w)
+			}
+		}
+		return -1
+	}
+	remove := func(v int, out Output, iter int) {
+		sol.Out[v] = out
+		sol.Iter[v] = iter
+		sol.Seq[v] = seq
+		seq++
+		sol.Rounds[v] = iter * (gamma + 2)
+		alive[v] = false
+		remaining--
+		for _, w := range t.NeighborsRaw(v) {
+			if alive[w] {
+				deg[w]--
+			}
+		}
+	}
+	for iter := 1; remaining > 0; iter++ {
+		if iter > k {
+			return nil, fmt.Errorf("%w: needs more than k=%d iterations (γ=%d)", ErrInfeasible, k, gamma)
+		}
+		// γ rake sub-rounds: remove effective-degree-<=1 nodes; each orients
+		// its edge toward its unique alive neighbor (rule 3 direction:
+		// lower label points at higher). Pinned nodes have a phantom edge
+		// and are removed only when isolated, pointing outside.
+		for sub := 0; sub < gamma && remaining > 0; sub++ {
+			var batch []int
+			for v := 0; v < n; v++ {
+				if alive[v] && deg[v] <= 1 {
+					batch = append(batch, v)
+				}
+			}
+			for _, v := range batch {
+				remove(v, Output{Label: Rake(iter), OutNode: aliveNbr(v)}, iter)
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+		// Compress: split maximal alive degree-2 runs into [4,8]-node paths;
+		// interiors get C_iter, endpoints get R_{iter+1} with the interior
+		// neighbor pointing at them and the endpoint pointing at its higher
+		// alive neighbor.
+		runs := aliveDeg2Runs(t, alive, deg, pinned)
+		for _, run := range runs {
+			if len(run) < 4 {
+				continue
+			}
+			if iter == k {
+				return nil, fmt.Errorf("%w: compress needed at iteration k=%d (no C_%d label)", ErrInfeasible, k, k)
+			}
+			for _, chunk := range splitChunks(run, 4) {
+				last := len(chunk) - 1
+				// Interiors first (they point at endpoints while endpoints
+				// are conceptually "later").
+				for i := 1; i < last; i++ {
+					out := Output{Label: Compress(iter), OutNode: -1}
+					if i == 1 {
+						out.OutNode = chunk[0]
+					} else if i == last-1 {
+						out.OutNode = chunk[last]
+					}
+					remove(chunk[i], out, iter)
+				}
+				for _, e := range []int{0, last} {
+					v := chunk[e]
+					if e == last && last == 0 {
+						continue
+					}
+					remove(v, Output{Label: Rake(iter + 1), OutNode: aliveNbr(v)}, iter)
+				}
+			}
+		}
+	}
+	return sol, nil
+}
+
+// aliveDeg2Runs lists maximal chains of alive, unpinned, effective-degree-2
+// nodes (pinned nodes never join compress paths: their phantom edge keeps
+// them anchored).
+func aliveDeg2Runs(t *graph.Tree, alive []bool, deg []int, pinned []bool) [][]int {
+	n := t.N()
+	isMid := func(v int) bool { return alive[v] && deg[v] == 2 && !pinned[v] }
+	seen := make([]bool, n)
+	var runs [][]int
+	for v := 0; v < n; v++ {
+		if !isMid(v) || seen[v] {
+			continue
+		}
+		// Walk to one end.
+		prev, cur := -1, v
+		for {
+			next := -1
+			for _, w := range t.NeighborsRaw(cur) {
+				u := int(w)
+				if u != prev && isMid(u) {
+					next = u
+					break
+				}
+			}
+			if next == -1 {
+				break
+			}
+			prev, cur = cur, next
+		}
+		// Collect from the end.
+		run := []int{cur}
+		seen[cur] = true
+		prev = -1
+		for {
+			next := -1
+			for _, w := range t.NeighborsRaw(cur) {
+				u := int(w)
+				if u != prev && isMid(u) && !seen[u] {
+					next = u
+					break
+				}
+			}
+			if next == -1 {
+				break
+			}
+			seen[next] = true
+			run = append(run, next)
+			prev, cur = cur, next
+		}
+		runs = append(runs, run)
+	}
+	return runs
+}
+
+// splitChunks cuts a run into chunks of length in [ell, 2ell], dropping
+// separator nodes between chunks (they stay alive).
+func splitChunks(run []int, ell int) [][]int {
+	var chunks [][]int
+	for len(run) > 2*ell {
+		chunks = append(chunks, run[:ell])
+		run = run[ell+1:]
+	}
+	if len(run) >= ell {
+		chunks = append(chunks, run)
+	}
+	return chunks
+}
+
+// Verify checks the six rules of Definition 63. pinned nodes are allowed
+// (and required) to have OutNode = -1 pointing outside; their phantom edge
+// counts as oriented.
+func Verify(t *graph.Tree, k int, pinned []bool, out []Output) error {
+	n := t.N()
+	if len(out) != n {
+		return fmt.Errorf("labeling: out length %d != n %d", len(out), n)
+	}
+	if pinned == nil {
+		pinned = make([]bool, n)
+	}
+	oriented := func(u, v int) bool { return out[u].OutNode == v || out[v].OutNode == u }
+	for v := 0; v < n; v++ {
+		l := out[v].Label
+		if l == 0 || l.Index() > k || (!l.IsRake() && l.Index() >= k) {
+			return fmt.Errorf("%w: node %d label %v outside alphabet(k=%d)", ErrInvalid, v, l, k)
+		}
+		// Rule 1: edges adjacent to a rake label are oriented.
+		if l.IsRake() {
+			for _, w := range t.NeighborsRaw(v) {
+				if !oriented(v, int(w)) {
+					return fmt.Errorf("%w: unoriented edge {%d,%d} at rake node %d", ErrInvalid, v, int(w), v)
+				}
+			}
+		}
+		// Rule 2: at most one outgoing edge; compress nodes with two
+		// compress neighbors have none.
+		if out[v].OutNode >= 0 && !t.HasEdge(v, out[v].OutNode) {
+			return fmt.Errorf("%w: node %d points at non-neighbor %d", ErrInvalid, v, out[v].OutNode)
+		}
+		if !l.IsRake() {
+			compressNbrs := 0
+			for _, w := range t.NeighborsRaw(v) {
+				if !out[w].Label.IsRake() {
+					compressNbrs++
+				}
+			}
+			if compressNbrs >= 2 && out[v].OutNode != -1 {
+				return fmt.Errorf("%w: interior compress node %d has an outgoing edge", ErrInvalid, v)
+			}
+		}
+		// Rule 3: labels non-decreasing along orientation.
+		if u := out[v].OutNode; u >= 0 && out[u].Label < l {
+			return fmt.Errorf("%w: edge %d->%d decreases label %v -> %v", ErrInvalid, v, u, l, out[u].Label)
+		}
+		// Rules 4+5: compress components are paths; equal compress labels
+		// only.
+		if !l.IsRake() {
+			same := 0
+			for _, w := range t.NeighborsRaw(v) {
+				lw := out[w].Label
+				if !lw.IsRake() {
+					if lw != l {
+						return fmt.Errorf("%w: adjacent distinct compress labels %v,%v (%d,%d)",
+							ErrInvalid, l, lw, v, int(w))
+					}
+					same++
+				}
+			}
+			if same > 2 {
+				return fmt.Errorf("%w: compress node %d has %d same-label neighbors (not a path)", ErrInvalid, v, same)
+			}
+		}
+		// Rule 6: a rake node has at most one compress neighbor pointing at
+		// it, and if one exists, all in-pointers carry strictly lower
+		// labels.
+		if l.IsRake() {
+			compressIn := 0
+			for _, w := range t.NeighborsRaw(v) {
+				u := int(w)
+				if out[u].OutNode == v && !out[u].Label.IsRake() {
+					compressIn++
+				}
+			}
+			if compressIn > 1 {
+				return fmt.Errorf("%w: rake node %d has %d compress in-pointers", ErrInvalid, v, compressIn)
+			}
+			if compressIn == 1 {
+				for _, w := range t.NeighborsRaw(v) {
+					u := int(w)
+					if out[u].OutNode == v && out[u].Label >= l {
+						return fmt.Errorf("%w: in-pointer %d->%d label %v not below %v",
+							ErrInvalid, u, v, out[u].Label, l)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

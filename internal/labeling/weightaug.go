@@ -1,0 +1,367 @@
+package labeling
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/hierarchy"
+)
+
+// Secondary is the secondary output of a weight node in the weight-augmented
+// problem: either Decline or a label from the active alphabet.
+type Secondary struct {
+	Decline bool
+	Label   hierarchy.Label
+}
+
+// String formats the secondary output.
+func (s Secondary) String() string {
+	if s.Decline {
+		return "Decline"
+	}
+	return s.Label.String()
+}
+
+// AugOutput is a node's output for the k-hierarchical weight-augmented
+// 2½-coloring (Definition 67).
+type AugOutput struct {
+	// Active is the hierarchical output of an active node (LabelNone on
+	// weight nodes).
+	Active hierarchy.Label
+	// Weight-side outputs: the k-hierarchical labeling output plus the
+	// secondary output.
+	WLabel    Label
+	OutNode   int
+	Secondary Secondary
+}
+
+// AugInstance is a weight-augmented instance: a tree with Active/Weight
+// marks.
+type AugInstance struct {
+	K       int
+	Delta   int
+	Tree    *graph.Tree
+	Weight  []bool // true = weight node
+	NumCore int    // number of active (hierarchical-core) nodes
+	// Roots maps each attached weight-tree root to its active host.
+	Roots map[int]int
+}
+
+// BuildAugInstance builds the Definition-25-style instance for the
+// weight-augmented problem: a k-hierarchical core with path lengths lengths,
+// and weightPerLevel weight nodes distributed evenly as balanced
+// Δ-regular trees over the construction levels 2..k.
+func BuildAugInstance(k, delta int, lengths []int, weightPerLevel int) (*AugInstance, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("labeling: augmented construction needs k >= 2, got %d", k)
+	}
+	if delta < 4 {
+		return nil, fmt.Errorf("labeling: Δ = %d < 4", delta)
+	}
+	if len(lengths) != k {
+		return nil, fmt.Errorf("labeling: %d lengths for k=%d", len(lengths), k)
+	}
+	h, err := graph.BuildHierarchical(lengths)
+	if err != nil {
+		return nil, err
+	}
+	nCore := h.Tree.N()
+	b := graph.NewBuilder(nCore + (k-1)*weightPerLevel)
+	b.AddNodes(nCore)
+	for _, e := range h.Tree.Edges() {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	roots := make(map[int]int)
+	fan := delta - 1
+	for level := 2; level <= k; level++ {
+		var hosts []int
+		for _, path := range h.Paths[level-1] {
+			hosts = append(hosts, path...)
+		}
+		if len(hosts) == 0 {
+			continue
+		}
+		per := weightPerLevel / len(hosts)
+		if per < 1 {
+			per = 1
+		}
+		for _, host := range hosts {
+			first := b.AddNodes(per)
+			if err := b.AddEdge(host, first); err != nil {
+				return nil, err
+			}
+			next := first + 1
+			lastIdx := first + per - 1
+			for v := first; v <= lastIdx && next <= lastIdx; v++ {
+				for c := 0; c < fan && next <= lastIdx; c++ {
+					if err := b.AddEdge(v, next); err != nil {
+						return nil, err
+					}
+					next++
+				}
+			}
+			roots[first] = host
+		}
+	}
+	tree, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	weight := make([]bool, tree.N())
+	for v := nCore; v < tree.N(); v++ {
+		weight[v] = true
+	}
+	return &AugInstance{
+		K:       k,
+		Delta:   delta,
+		Tree:    tree,
+		Weight:  weight,
+		NumCore: nCore,
+		Roots:   roots,
+	}, nil
+}
+
+// AugResult is an execution of the weight-augmented solver.
+type AugResult struct {
+	Out    []AugOutput
+	Rounds []int
+}
+
+// NodeAveraged returns (1/n) Σ_v T_v.
+func (r *AugResult) NodeAveraged() float64 {
+	if len(r.Rounds) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, t := range r.Rounds {
+		sum += int64(t)
+	}
+	return float64(sum) / float64(len(r.Rounds))
+}
+
+// SolveAug solves the k-hierarchical weight-augmented 2½-coloring
+// (Definition 67) with node-averaged complexity Θ(n^{1/k}) (Lemma 69):
+// active components run the generic 2½ algorithm with γ_i = ⌈n^{1/k}⌉ (the
+// x = 1 exponents); weight components compute a k-hierarchical labeling with
+// the active-adjacent nodes pinned; secondary outputs then flow down the
+// orientation — every rake chain copies the value of the node it points to,
+// ultimately the active output (Lemma 68: an Ω(1) fraction of every attached
+// weight tree waits for its active node), while compress subtrees decline.
+func SolveAug(t *graph.Tree, weight []bool, k int, ids []uint64) (*AugResult, error) {
+	n := t.N()
+	if len(weight) != n || len(ids) != n {
+		return nil, fmt.Errorf("labeling: weight/ids length mismatch (n=%d)", n)
+	}
+	gamma := int(math.Ceil(math.Pow(float64(n), 1/float64(k))))
+	gammas := make([]int, k-1)
+	for i := range gammas {
+		gammas[i] = gamma
+	}
+	sched, err := hierarchy.NewSchedule(hierarchy.Params{
+		Problem: hierarchy.Problem{K: k, Variant: hierarchy.Coloring25},
+		Gammas:  gammas,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &AugResult{
+		Out:    make([]AugOutput, n),
+		Rounds: make([]int, n),
+	}
+	for v := range res.Out {
+		res.Out[v].OutNode = -1
+	}
+	activeMask := make([]bool, n)
+	for v := 0; v < n; v++ {
+		activeMask[v] = !weight[v]
+	}
+	for _, comp := range graph.InducedComponents(t, activeMask) {
+		levels := graph.ComputeLevels(comp.Tree, k)
+		compIDs := make([]uint64, len(comp.Nodes))
+		for i, v := range comp.Nodes {
+			compIDs[i] = ids[v]
+		}
+		ex, err := hierarchy.RunAnalytic(comp.Tree, levels, sched, compIDs)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range comp.Nodes {
+			res.Out[v].Active = ex.Out[i]
+			res.Rounds[v] = ex.Rounds[i]
+		}
+	}
+	for _, comp := range graph.InducedComponents(t, weight) {
+		if err := solveAugWeightComponent(t, weight, k, comp, res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func solveAugWeightComponent(t *graph.Tree, weight []bool, k int, comp *graph.Component, res *AugResult) error {
+	m := comp.Tree.N()
+	pinned := make([]bool, m)
+	activeOf := make([]int, m) // chosen active neighbor (original index), -1
+	for i := range activeOf {
+		activeOf[i] = -1
+	}
+	for i, v := range comp.Nodes {
+		best := -1
+		for _, w := range t.NeighborsRaw(v) {
+			u := int(w)
+			if !weight[u] {
+				if best == -1 || res.Rounds[u] < res.Rounds[best] {
+					best = u
+				}
+			}
+		}
+		if best >= 0 {
+			pinned[i] = true
+			activeOf[i] = best
+		}
+	}
+	sol, err := Solve(comp.Tree, k, pinned)
+	if err != nil {
+		return err
+	}
+	// Secondary assignment in reverse removal order: a node's orientation
+	// target always has a strictly larger removal sequence number, so
+	// processing by decreasing Seq resolves all copy dependencies.
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return sol.Seq[order[a]] > sol.Seq[order[b]] })
+	for _, i := range order {
+		v := comp.Nodes[i]
+		res.Out[v].WLabel = sol.Out[i].Label
+		switch {
+		case pinned[i]:
+			// Rule 3: orient toward the chosen active node and copy it.
+			res.Out[v].OutNode = activeOf[i]
+			res.Out[v].Secondary = Secondary{Label: res.Out[activeOf[i]].Active}
+			res.Rounds[v] = maxInt(sol.Rounds[i], res.Rounds[activeOf[i]]+1)
+		case !sol.Out[i].Label.IsRake():
+			// Rule 5: compress nodes not adjacent to an active decline.
+			res.Out[v].Secondary = Secondary{Decline: true}
+			if sol.Out[i].OutNode >= 0 {
+				res.Out[v].OutNode = comp.Nodes[sol.Out[i].OutNode]
+			}
+			res.Rounds[v] = sol.Rounds[i]
+		case sol.Out[i].OutNode < 0:
+			// A rake node with no target (last survivor of an active-free
+			// component) originates an arbitrary legal label.
+			res.Out[v].Secondary = Secondary{Label: hierarchy.LabelW}
+			res.Rounds[v] = sol.Rounds[i]
+		default:
+			// Rule 4: copy the secondary of the orientation target.
+			j := sol.Out[i].OutNode
+			u := comp.Nodes[j]
+			res.Out[v].OutNode = u
+			res.Out[v].Secondary = res.Out[u].Secondary
+			res.Rounds[v] = maxInt(sol.Rounds[i], res.Rounds[u]+1)
+		}
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// VerifyAug checks the rules of Definition 67 under the interpretation
+// documented in DESIGN.md: (1) active components solve k-hierarchical
+// 2½-coloring; (2) weight components solve the k-hierarchical labeling
+// problem (with active-adjacent nodes treated as pinned); (3) every weight
+// node adjacent to an active node points at exactly one of them and copies
+// its output; (4) a weight node pointing at another weight node carries the
+// same secondary; (5) a compress node declines iff it is not adjacent to an
+// active node, and only compress nodes *originate* Decline (rake chains may
+// inherit it).
+func VerifyAug(t *graph.Tree, weight []bool, k int, out []AugOutput) error {
+	n := t.N()
+	if len(weight) != n || len(out) != n {
+		return fmt.Errorf("labeling: weight/out length mismatch")
+	}
+	activeMask := make([]bool, n)
+	for v := 0; v < n; v++ {
+		activeMask[v] = !weight[v]
+	}
+	hp := hierarchy.Problem{K: k, Variant: hierarchy.Coloring25}
+	for _, comp := range graph.InducedComponents(t, activeMask) {
+		levels := graph.ComputeLevels(comp.Tree, k)
+		labels := make([]hierarchy.Label, len(comp.Nodes))
+		for i, v := range comp.Nodes {
+			labels[i] = out[v].Active
+		}
+		if err := hp.Verify(comp.Tree, levels, labels); err != nil {
+			return fmt.Errorf("%w: active component: %v", ErrInvalid, err)
+		}
+	}
+	for _, comp := range graph.InducedComponents(t, weight) {
+		pinned := make([]bool, comp.Tree.N())
+		for i, v := range comp.Nodes {
+			for _, w := range t.NeighborsRaw(v) {
+				if !weight[w] {
+					pinned[i] = true
+				}
+			}
+		}
+		wout := make([]Output, comp.Tree.N())
+		for i, v := range comp.Nodes {
+			wout[i] = Output{Label: out[v].WLabel, OutNode: -1}
+			if u := out[v].OutNode; u >= 0 && comp.IndexOf(u) >= 0 {
+				wout[i].OutNode = comp.IndexOf(u)
+			}
+		}
+		if err := Verify(comp.Tree, k, pinned, wout); err != nil {
+			return err
+		}
+	}
+	for v := 0; v < n; v++ {
+		if !weight[v] {
+			continue
+		}
+		adjActive := false
+		for _, w := range t.NeighborsRaw(v) {
+			if !weight[w] {
+				adjActive = true
+			}
+		}
+		target := out[v].OutNode
+		if adjActive {
+			// Rule 3.
+			if target < 0 || weight[target] || !t.HasEdge(v, target) {
+				return fmt.Errorf("%w: active-adjacent weight node %d does not point at an active neighbor",
+					ErrInvalid, v)
+			}
+			if out[v].Secondary.Decline || out[v].Secondary.Label != out[target].Active {
+				return fmt.Errorf("%w: weight node %d secondary %v != active output %v",
+					ErrInvalid, v, out[v].Secondary, out[target].Active)
+			}
+			continue
+		}
+		// Rule 5.
+		if !out[v].WLabel.IsRake() && !out[v].Secondary.Decline {
+			return fmt.Errorf("%w: compress node %d without active neighbor must decline", ErrInvalid, v)
+		}
+		// Rule 4.
+		if target >= 0 && weight[target] && out[v].Secondary != out[target].Secondary {
+			return fmt.Errorf("%w: weight node %d secondary %v != target %d secondary %v",
+				ErrInvalid, v, out[v].Secondary, target, out[target].Secondary)
+		}
+		// Origination restriction: a rake node with no weight target must
+		// not declare Decline.
+		if out[v].WLabel.IsRake() && target < 0 && out[v].Secondary.Decline {
+			return fmt.Errorf("%w: rake node %d originates Decline", ErrInvalid, v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package landscape
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rational is a fraction a/b in lowest terms.
+type Rational struct {
+	A, B int64
+}
+
+// Float returns the value a/b.
+func (r Rational) Float() float64 { return float64(r.A) / float64(r.B) }
+
+// String formats the fraction.
+func (r Rational) String() string { return fmt.Sprintf("%d/%d", r.A, r.B) }
+
+// SimplestRationalIn returns the rational with the smallest denominator in
+// the open interval (lo, hi), via Stern–Brocot descent. Requires lo < hi.
+func SimplestRationalIn(lo, hi float64) (Rational, error) {
+	if !(lo < hi) {
+		return Rational{}, fmt.Errorf("%w: empty interval (%v, %v)", ErrBadParam, lo, hi)
+	}
+	// Walk the Stern–Brocot tree: invariant lo < hi, find simplest a/b with
+	// lo < a/b < hi.
+	var la, lb, ra, rb int64 = 0, 1, 1, 0 // 0/1 and 1/0 bracket all positives
+	for iter := 0; iter < 10000; iter++ {
+		ma, mb := la+ra, lb+rb
+		v := float64(ma) / float64(mb)
+		switch {
+		case v <= lo:
+			// Move right; accelerate by stepping as far as possible.
+			step := int64((lo*float64(mb) - float64(ma)) / (float64(ra) - lo*float64(rb)))
+			if step > 0 {
+				ma += step * ra
+				mb += step * rb
+			}
+			la, lb = ma, mb
+		case v >= hi:
+			step := int64((float64(ma) - hi*float64(mb)) / (hi*float64(lb) - float64(la)))
+			if step > 0 {
+				ma += step * la
+				mb += step * lb
+			}
+			ra, rb = ma, mb
+		default:
+			return Rational{A: ma, B: mb}, nil
+		}
+	}
+	return Rational{}, fmt.Errorf("%w: no rational found in (%v, %v)", ErrBadParam, lo, hi)
+}
+
+// PolyParams is the outcome of the Theorem 1 / Lemma 58 parameter search: an
+// LCL Π^{2.5}_{Δ,d,k} whose node-averaged complexity Θ(n^C) has exponent C
+// inside the requested interval.
+type PolyParams struct {
+	Delta, D, K int
+	X           Rational // efficiency factor x = log(Δ−d−1)/log(Δ−1)
+	C           float64  // the achieved exponent α_1(x)
+}
+
+// FindPolyParams implements Lemma 58's constructive step: given
+// 0 < r1 < r2 <= 1/2, it returns constants (Δ, d, k) with Δ >= d+3 such that
+// Π^{2.5}_{Δ,d,k} has node-averaged complexity Θ(n^c) for some c in
+// [r1, r2]. Following the lemma, x is chosen rational p/q and realized by
+// Δ = 2^q + 1, d = 2^q − 2^p.
+func FindPolyParams(r1, r2 float64) (PolyParams, error) {
+	if !(0 < r1 && r1 < r2 && r2 <= 0.5) {
+		return PolyParams{}, fmt.Errorf("%w: need 0 < r1 < r2 <= 1/2, got (%v, %v)",
+			ErrBadParam, r1, r2)
+	}
+	// Choose k so that [1/(2^k−1), 1/k] ∩ (r1, r2) is nonempty: the smallest
+	// k with 1/(2^k−1) < r2 works whenever also r1 < 1/k.
+	for k := 2; k <= 62; k++ {
+		low := 1 / (math.Pow(2, float64(k)) - 1)
+		high := 1 / float64(k)
+		lo := math.Max(r1, low)
+		hi := math.Min(r2, high)
+		if !(lo < hi) {
+			continue
+		}
+		x1, err := InverseAlpha1(RegimePolynomial, lo, k)
+		if err != nil {
+			continue
+		}
+		x2, err := InverseAlpha1(RegimePolynomial, hi, k)
+		if err != nil {
+			continue
+		}
+		if !(x1 < x2) {
+			continue
+		}
+		frac, err := SimplestRationalIn(x1, x2)
+		if err != nil {
+			continue
+		}
+		if frac.B > 20 {
+			// Δ = 2^B + 1 must stay a usable integer degree bound.
+			continue
+		}
+		delta := int64(1)<<uint(frac.B) + 1
+		d := int64(1)<<uint(frac.B) - int64(1)<<uint(frac.A)
+		c, err := Alpha1Poly(frac.Float(), k)
+		if err != nil {
+			return PolyParams{}, err
+		}
+		return PolyParams{Delta: int(delta), D: int(d), K: k, X: frac, C: c}, nil
+	}
+	return PolyParams{}, fmt.Errorf("%w: no parameters found for (%v, %v)", ErrBadParam, r1, r2)
+}
+
+// LogStarParams is the outcome of the Theorem 6 parameter search: an LCL
+// Π^{3.5}_{Δ,d,k} with node-averaged complexity between Ω((log* n)^C) and
+// O((log* n)^{CUpper}) where CUpper <= C + ε.
+type LogStarParams struct {
+	Delta, D, K int
+	X           Rational // target efficiency factor (exactly log(Δ−d−1)/log(Δ−1))
+	XPrime      float64  // achieved upper-bound factor log(Δ−d+1)/log(Δ−1)
+	C           float64  // lower-bound exponent α_1(x)
+	CUpper      float64  // upper-bound exponent α_1(x′)
+}
+
+// FindLogStarParams implements Theorem 6's constructive step: given
+// 0 < r1 < r2 < 1 and ε > 0, it returns (Δ, d, k) such that
+// Π^{3.5}_{Δ,d,k} has node-averaged complexity between Ω((log* n)^c) and
+// O((log* n)^{c+ε}) with r1 <= c <= r2. Lemma 62: for x = a/b, take
+// Δ = 2^{cb} + 1, d = 2^{cb} − 2^{ca} with the multiplier c large enough
+// that x′ − x = log(2^{ca}+2)/(cb·log 2) − a/b < δ.
+func FindLogStarParams(r1, r2, eps float64) (LogStarParams, error) {
+	if !(0 < r1 && r1 < r2 && r2 < 1) || eps <= 0 {
+		return LogStarParams{}, fmt.Errorf("%w: need 0 < r1 < r2 < 1 and ε > 0, got (%v, %v, %v)",
+			ErrBadParam, r1, r2, eps)
+	}
+	for k := 2; k <= 62; k++ {
+		// α_1 for the log* regime ranges over [1/2^{k-1}, 1] (Lemma 61).
+		low := 1 / math.Pow(2, float64(k-1))
+		lo := math.Max(r1, low)
+		hi := r2
+		if !(lo < hi) {
+			continue
+		}
+		x1, err := InverseAlpha1(RegimeLogStar, lo, k)
+		if err != nil {
+			continue
+		}
+		x2, err := InverseAlpha1(RegimeLogStar, hi, k)
+		if err != nil {
+			continue
+		}
+		if !(x1 < x2) {
+			continue
+		}
+		frac, err := SimplestRationalIn(x1, x2)
+		if err != nil {
+			continue
+		}
+		c := frac.Float()
+		target, err := Alpha1LogStar(c, k)
+		if err != nil {
+			continue
+		}
+		// ε′ = min(ε, (r2 − α_1(x))/2): keep the upper bound inside (…, r2].
+		epsEff := math.Min(eps, (hi-target)/2)
+		if epsEff <= 0 {
+			epsEff = eps
+		}
+		// Grow the Lemma-62 multiplier until x′ − x is small enough that
+		// α_1(x′) <= α_1(x) + ε′.
+		for mult := int64(1); mult*frac.B <= 40; mult++ {
+			a, b := mult*frac.A, mult*frac.B
+			delta := int64(1)<<uint(b) + 1
+			d := delta - 1 - int64(1)<<uint(a)
+			if d < 1 || delta < d+3 {
+				continue
+			}
+			xPrime, err := EfficiencyXPrime(int(delta), int(d))
+			if err != nil {
+				continue
+			}
+			cUpper, err := Alpha1LogStar(math.Min(xPrime, 1), k)
+			if err != nil {
+				continue
+			}
+			if cUpper <= target+epsEff {
+				return LogStarParams{
+					Delta:  int(delta),
+					D:      int(d),
+					K:      k,
+					X:      frac,
+					XPrime: xPrime,
+					C:      target,
+					CUpper: cUpper,
+				}, nil
+			}
+		}
+	}
+	return LogStarParams{}, fmt.Errorf("%w: no parameters found for (%v, %v, ε=%v)",
+		ErrBadParam, r1, r2, eps)
+}

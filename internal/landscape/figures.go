@@ -1,0 +1,92 @@
+package landscape
+
+// Entry is one region of the node-averaged complexity landscape of LCLs on
+// bounded-degree trees.
+type Entry struct {
+	// Region describes the complexity range.
+	Region string
+	// Status is one of "class" (nonempty complexity class), "gap" (no LCL
+	// has a complexity in this range), or "dense" (infinitely many classes).
+	Status string
+	// Source cites the theorem establishing the entry.
+	Source string
+	// New reports whether the entry is a contribution of this paper
+	// (Figure 2) rather than prior work (Figure 1).
+	New bool
+}
+
+// Figure1 returns the landscape as known before the paper (Figure 1):
+// deterministic node-averaged complexities of LCLs on bounded-degree trees.
+func Figure1() []Entry {
+	return []Entry{
+		{Region: "Θ(1)", Status: "class", Source: "trivial problems"},
+		{Region: "ω(1) – o(log* n)", Status: "unknown", Source: "open before this paper"},
+		{Region: "Θ(log* n)", Status: "class", Source: "[BBK+23b]: e.g. 3-coloring"},
+		{Region: "ω(log* n) – n^{o(1)}", Status: "gap", Source: "[BBK+23b]"},
+		{Region: "n^{Θ(1)}: Θ(n^{1/(2k−1)})", Status: "class", Source: "[BBK+23b]: k-hier. 2½-coloring"},
+		{Region: "between the Θ(n^{1/(2k−1)}) points", Status: "unknown", Source: "open before this paper"},
+		{Region: "Θ(n)", Status: "class", Source: "e.g. 2-coloring"},
+	}
+}
+
+// Figure2 returns the completed landscape (Figure 2), including the paper's
+// contributions.
+func Figure2() []Entry {
+	return []Entry{
+		{Region: "Θ(1)", Status: "class", Source: "trivial problems"},
+		{Region: "ω(1) – (log* n)^{o(1)}", Status: "gap", Source: "Theorem 7", New: true},
+		{Region: "(log* n)^{Θ(1)} – O(log* n)", Status: "dense", Source: "Theorems 4–6 (Π^{3.5}_{Δ,d,k})", New: true},
+		{Region: "Θ(log* n)", Status: "class", Source: "[BBK+23b]"},
+		{Region: "ω(log* n) – n^{o(1)}", Status: "gap", Source: "[BBK+23b]"},
+		{Region: "n^{Θ(1)} – O(√n)", Status: "dense", Source: "Theorems 1–3 (Π^{2.5}_{Δ,d,k})", New: true},
+		{Region: "Θ(√n)", Status: "class", Source: "Lemma 69 (weight-augmented 2½-coloring)", New: true},
+		{Region: "ω(√n) – o(n)", Status: "gap", Source: "Corollary 60", New: true},
+		{Region: "Θ(n)", Status: "class", Source: "e.g. 2-coloring"},
+	}
+}
+
+// ClassPoint is a concrete achievable node-averaged complexity.
+type ClassPoint struct {
+	Exponent float64 // complexity is n^Exponent (poly) or (log* n)^Exponent
+	Delta    int
+	D        int
+	K        int
+	Regime   Regime
+}
+
+// SampleDensityPoints returns count achievable exponents evenly spread in
+// (lo, hi) for the given regime, each witnessed by concrete (Δ, d, k)
+// parameters — an executable rendering of the red "infinitely dense" bars of
+// Figure 2.
+func SampleDensityPoints(regime Regime, lo, hi float64, count int) ([]ClassPoint, error) {
+	if count < 1 {
+		return nil, ErrBadParam
+	}
+	pts := make([]ClassPoint, 0, count)
+	width := (hi - lo) / float64(count)
+	for i := 0; i < count; i++ {
+		a := lo + float64(i)*width
+		b := a + width
+		switch regime {
+		case RegimePolynomial:
+			p, err := FindPolyParams(a, b)
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, ClassPoint{
+				Exponent: p.C, Delta: p.Delta, D: p.D, K: p.K, Regime: regime,
+			})
+		case RegimeLogStar:
+			p, err := FindLogStarParams(a, b, width/4)
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, ClassPoint{
+				Exponent: p.C, Delta: p.Delta, D: p.D, K: p.K, Regime: regime,
+			})
+		default:
+			return nil, ErrBadParam
+		}
+	}
+	return pts, nil
+}

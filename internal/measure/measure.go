@@ -1,0 +1,123 @@
+// Package measure provides the experiment harness: log-log slope fitting
+// for exponent recovery and plain-text table formatting for EXPERIMENTS.md
+// and the CLI tools.
+package measure
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is one measurement (X = instance scale, Y = measured quantity).
+type Point struct {
+	X, Y float64
+}
+
+// FitLogLog fits Y = c · X^slope by least squares on (ln X, ln Y) and
+// returns the slope and the multiplicative constant c.
+func FitLogLog(points []Point) (slope, c float64) {
+	if len(points) < 2 {
+		return 0, 0
+	}
+	var sx, sy, sxx, sxy float64
+	n := float64(len(points))
+	for _, p := range points {
+		lx, ly := math.Log(p.X), math.Log(p.Y)
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0
+	}
+	slope = (n*sxy - sx*sy) / den
+	c = math.Exp((sy - slope*sx) / n)
+	return slope, c
+}
+
+// Table is a plain-text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row built from arbitrary values.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Format renders the table with aligned columns.
+func (t *Table) Format() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString("== " + t.Title + " ==\n")
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			if i < len(widths) && len(cell) < widths[i] {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString("### " + t.Title + "\n\n")
+	}
+	sb.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	seps := make([]string, len(t.Header))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	sb.WriteString("| " + strings.Join(seps, " | ") + " |\n")
+	for _, row := range t.Rows {
+		sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return sb.String()
+}

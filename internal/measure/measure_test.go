@@ -1,0 +1,91 @@
+package measure
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitLogLogExact(t *testing.T) {
+	// Y = 3 * X^0.7 must be recovered exactly.
+	var pts []Point
+	for _, x := range []float64{10, 100, 1000, 10000} {
+		pts = append(pts, Point{X: x, Y: 3 * math.Pow(x, 0.7)})
+	}
+	slope, c := FitLogLog(pts)
+	if math.Abs(slope-0.7) > 1e-9 {
+		t.Fatalf("slope = %v, want 0.7", slope)
+	}
+	if math.Abs(c-3) > 1e-9 {
+		t.Fatalf("c = %v, want 3", c)
+	}
+}
+
+func TestFitLogLogDegenerate(t *testing.T) {
+	if s, _ := FitLogLog(nil); s != 0 {
+		t.Fatal("empty fit should be 0")
+	}
+	if s, _ := FitLogLog([]Point{{1, 1}}); s != 0 {
+		t.Fatal("single-point fit should be 0")
+	}
+	// Identical X values: denominator zero.
+	if s, _ := FitLogLog([]Point{{5, 1}, {5, 2}}); s != 0 {
+		t.Fatal("vertical fit should be 0")
+	}
+}
+
+func TestQuickFitLogLogRecoversExponent(t *testing.T) {
+	f := func(e8 uint8, c8 uint8) bool {
+		exp := 0.1 + float64(e8%20)/10 // 0.1 .. 2.0
+		c := 1 + float64(c8%50)
+		var pts []Point
+		for _, x := range []float64{7, 70, 700, 7000} {
+			pts = append(pts, Point{X: x, Y: c * math.Pow(x, exp)})
+		}
+		slope, cc := FitLogLog(pts)
+		return math.Abs(slope-exp) < 1e-6 && math.Abs(cc-c) < 1e-4*c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableFormatAligns(t *testing.T) {
+	tb := Table{
+		Title:  "demo",
+		Header: []string{"a", "bbbb", "c"},
+	}
+	tb.AddRow(1, "x", 2.5)
+	tb.AddRow("longer", "y", 0.125)
+	out := tb.Format()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[2], "-") {
+		t.Fatal("missing separator")
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := Table{Title: "m", Header: []string{"x", "y"}}
+	tb.AddRow(1, 2)
+	md := tb.Markdown()
+	for _, want := range []string{"### m", "| x | y |", "| --- | --- |", "| 1 | 2 |"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestAddRowFormatsFloats(t *testing.T) {
+	tb := Table{Header: []string{"v"}}
+	tb.AddRow(0.123456789)
+	if tb.Rows[0][0] != "0.1235" {
+		t.Fatalf("float cell = %q", tb.Rows[0][0])
+	}
+}

@@ -1,0 +1,180 @@
+package pathlcl
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The black-white formalism of Definition 70: problems on properly
+// 2-colored trees whose outputs live on edges; a node's constraint is a set
+// of allowed multisets of (input, output) pairs over its incident edges.
+
+// Pair is one (input label, output label) edge annotation.
+type Pair struct {
+	In, Out int
+}
+
+// Multiset is a sorted multiset of pairs (the canonical form used for
+// constraint matching).
+type Multiset []Pair
+
+// Canon sorts the multiset into canonical order.
+func (m Multiset) Canon() Multiset {
+	out := append(Multiset(nil), m...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].In != out[j].In {
+			return out[i].In < out[j].In
+		}
+		return out[i].Out < out[j].Out
+	})
+	return out
+}
+
+// BWProblem is an LCL in the black-white formalism (Definition 70).
+type BWProblem struct {
+	Name   string
+	NumIn  int
+	NumOut int
+	White  []Multiset // allowed multisets at white nodes
+	Black  []Multiset // allowed multisets at black nodes
+}
+
+// Side selects the white or black constraint.
+type Side uint8
+
+// Node sides.
+const (
+	SideWhite Side = iota + 1
+	SideBlack
+)
+
+// constraints returns the multiset list of the side.
+func (p *BWProblem) constraints(s Side) []Multiset {
+	if s == SideWhite {
+		return p.White
+	}
+	return p.Black
+}
+
+// LabelSet is a set of output labels, the label-sets of Definition 73/74.
+type LabelSet map[int]bool
+
+// NewLabelSet builds a set from labels.
+func NewLabelSet(labels ...int) LabelSet {
+	s := make(LabelSet, len(labels))
+	for _, l := range labels {
+		s[l] = true
+	}
+	return s
+}
+
+// Sorted returns the labels in increasing order.
+func (s LabelSet) Sorted() []int {
+	out := make([]int, 0, len(s))
+	for l := range s {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SingleNodeLabelSet implements the "single nodes" case of Definition 74:
+// given a node of the given side whose incoming edges carry input labels
+// incomingIn[i] and label-sets incoming[i], and whose single outgoing edge
+// carries input label outIn, it returns g(v): the set of output labels o
+// assignable to the outgoing edge such that some choice
+// ℓ_i ∈ incoming[i] makes the full incident multiset allowed.
+func SingleNodeLabelSet(p *BWProblem, side Side, incomingIn []int, incoming []LabelSet, outIn int) (LabelSet, error) {
+	if len(incomingIn) != len(incoming) {
+		return nil, fmt.Errorf("pathlcl: %d incoming inputs for %d sets", len(incomingIn), len(incoming))
+	}
+	deg := len(incoming) + 1
+	result := make(LabelSet)
+	for _, ms := range p.constraints(side) {
+		if len(ms) != deg {
+			continue
+		}
+		canon := ms.Canon()
+		// Try every element of the multiset as the outgoing pair.
+		for j, pr := range canon {
+			if pr.In != outIn || result[pr.Out] {
+				continue
+			}
+			rest := make(Multiset, 0, deg-1)
+			rest = append(rest, canon[:j]...)
+			rest = append(rest, canon[j+1:]...)
+			if matchIncoming(rest, incomingIn, incoming) {
+				result[pr.Out] = true
+			}
+		}
+	}
+	return result, nil
+}
+
+// matchIncoming decides whether the remaining multiset can be assigned
+// bijectively to the incoming edges, respecting each edge's input label and
+// label-set (bitmask DP over edges; degrees are constant).
+func matchIncoming(rest Multiset, incomingIn []int, incoming []LabelSet) bool {
+	k := len(rest)
+	if k != len(incoming) {
+		return false
+	}
+	if k == 0 {
+		return true
+	}
+	// can[i] = bitmask of pairs edge i can absorb.
+	can := make([]uint32, k)
+	for i := range incoming {
+		for j, pr := range rest {
+			if pr.In == incomingIn[i] && incoming[i][pr.Out] {
+				can[i] |= 1 << uint(j)
+			}
+		}
+	}
+	// DP over subsets: match edges 0..i-1 to the pairs in the subset.
+	dp := make([]bool, 1<<uint(k))
+	dp[0] = true
+	for mask := 0; mask < 1<<uint(k); mask++ {
+		if !dp[mask] {
+			continue
+		}
+		i := popcount(uint32(mask))
+		if i == k {
+			return true
+		}
+		avail := can[i] &^ uint32(mask)
+		for avail != 0 {
+			bit := avail & (-avail)
+			dp[mask|int(bit)] = true
+			avail &^= bit
+		}
+	}
+	return dp[1<<uint(k)-1]
+}
+
+func popcount(x uint32) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+// EdgeColoringBW returns the proper 2-edge-coloring problem on 2-colored
+// paths in the black-white formalism (a standard example: every node of
+// degree 2 must see two distinct edge outputs).
+func EdgeColoringBW() *BWProblem {
+	distinct := []Multiset{
+		{{0, 0}, {0, 1}},
+	}
+	single := []Multiset{{{0, 0}}, {{0, 1}}}
+	all := append(append([]Multiset{}, distinct...), single...)
+	return &BWProblem{
+		Name:   "2-edge-coloring",
+		NumIn:  1,
+		NumOut: 2,
+		White:  all,
+		Black:  all,
+	}
+}

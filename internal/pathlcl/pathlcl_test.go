@@ -1,0 +1,196 @@
+package pathlcl
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func findProblem(t *testing.T, name string) Problem {
+	t.Helper()
+	for _, p := range Catalogue() {
+		if p.Name == name {
+			return p
+		}
+	}
+	t.Fatalf("catalogue has no %q", name)
+	return Problem{}
+}
+
+func TestClassifyCatalogue(t *testing.T) {
+	want := map[string]Class{
+		"trivial (any labeling)":          ClassConstant,
+		"consistent value":                ClassConstant,
+		"2-coloring":                      ClassLinear,
+		"3-coloring":                      ClassLogStar,
+		"at most one color change (weak)": ClassConstant,
+		"no solution":                     ClassUnsolvable,
+		"5-cycle walk (odd, loopless)":    ClassLogStar,
+		"4-cycle walk (even, loopless)":   ClassLinear,
+	}
+	for _, p := range Catalogue() {
+		got, err := Classify(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if got != want[p.Name] {
+			t.Errorf("%s: classified %v, want %v", p.Name, got, want[p.Name])
+		}
+	}
+}
+
+func TestClassifyRejectsAsymmetric(t *testing.T) {
+	p := Problem{
+		Name:   "asym",
+		Labels: 2,
+		Allowed: [][]bool{
+			{false, true},
+			{false, false},
+		},
+	}
+	if _, err := Classify(p); err == nil {
+		t.Fatal("asymmetric relation accepted")
+	}
+}
+
+func TestSolvePathProducesValidLabelings(t *testing.T) {
+	for _, p := range Catalogue() {
+		class, err := Classify(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{1, 2, 5, 40} {
+			labels, err := SolvePath(p, n)
+			if class == ClassUnsolvable && n >= 2 {
+				if err == nil {
+					t.Errorf("%s: unsolvable but SolvePath succeeded", p.Name)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", p.Name, n, err)
+			}
+			if err := p.VerifyLabeling(labels); err != nil {
+				t.Fatalf("%s n=%d: %v", p.Name, n, err)
+			}
+		}
+	}
+}
+
+func TestTwoColoringNeedsParity(t *testing.T) {
+	p := findProblem(t, "2-coloring")
+	// All-same labeling must be rejected by the verifier.
+	if p.VerifyLabeling([]int{0, 0}) == nil {
+		t.Fatal("monochromatic edge accepted")
+	}
+	if p.VerifyLabeling([]int{0, 1, 0, 1}) != nil {
+		t.Fatal("alternating labeling rejected")
+	}
+}
+
+func TestQuickClassifyTotal(t *testing.T) {
+	// Classify must return a sensible class for every random symmetric
+	// relation.
+	f := func(bits uint16, sz uint8) bool {
+		labels := 1 + int(sz)%4
+		allowed := make([][]bool, labels)
+		for i := range allowed {
+			allowed[i] = make([]bool, labels)
+		}
+		b := bits
+		for a := 0; a < labels; a++ {
+			for c := a; c < labels; c++ {
+				if b&1 == 1 {
+					allowed[a][c] = true
+					allowed[c][a] = true
+				}
+				b >>= 1
+			}
+		}
+		p := Problem{Name: "rand", Labels: labels, Allowed: allowed}
+		class, err := Classify(p)
+		if err != nil {
+			return false
+		}
+		switch class {
+		case ClassUnsolvable, ClassConstant, ClassLogStar, ClassLinear:
+		default:
+			return false
+		}
+		// Constructive cross-check: solvable classes must actually solve.
+		if class != ClassUnsolvable {
+			lab, err := SolvePath(p, 17)
+			if err != nil {
+				return false
+			}
+			if p.VerifyLabeling(lab) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleNodeLabelSetEdgeColoring(t *testing.T) {
+	p := EdgeColoringBW()
+	// Degree-2 node with one incoming edge whose label-set is {0}: the
+	// outgoing edge must take {1}.
+	got, err := SingleNodeLabelSet(p, SideWhite, []int{0}, []LabelSet{NewLabelSet(0)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !got[1] {
+		t.Fatalf("label set %v, want {1}", got.Sorted())
+	}
+	// Incoming {0,1}: outgoing may be either.
+	got, err = SingleNodeLabelSet(p, SideWhite, []int{0}, []LabelSet{NewLabelSet(0, 1)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("label set %v, want {0,1}", got.Sorted())
+	}
+	// Leaf (no incoming): both singles allowed.
+	got, err = SingleNodeLabelSet(p, SideBlack, nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("leaf label set %v, want {0,1}", got.Sorted())
+	}
+}
+
+func TestSingleNodeLabelSetEmptyWhenOverconstrained(t *testing.T) {
+	p := EdgeColoringBW()
+	// Two incoming edges already forcing both colors, no 3-edge multiset
+	// exists: outgoing set must be empty (this is how the testing procedure
+	// detects functions that are not good).
+	got, err := SingleNodeLabelSet(p, SideWhite,
+		[]int{0, 0}, []LabelSet{NewLabelSet(0), NewLabelSet(1)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("label set %v, want empty", got.Sorted())
+	}
+}
+
+func TestMultisetCanon(t *testing.T) {
+	m := Multiset{{1, 2}, {0, 3}, {0, 1}}
+	c := m.Canon()
+	if c[0] != (Pair{0, 1}) || c[1] != (Pair{0, 3}) || c[2] != (Pair{1, 2}) {
+		t.Fatalf("canon = %v", c)
+	}
+	// Original untouched.
+	if m[0] != (Pair{1, 2}) {
+		t.Fatal("Canon mutated its receiver")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassConstant.String() != "O(1)" || ClassLinear.String() != "Θ(n)" {
+		t.Fatal("class names wrong")
+	}
+}

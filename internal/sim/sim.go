@@ -1,0 +1,294 @@
+// Package sim implements a synchronous LOCAL-model simulator.
+//
+// The LOCAL model (Linial): nodes of a graph host identical deterministic
+// state machines; computation proceeds in synchronous rounds; in every round
+// each node sends an (unbounded-size) message to each neighbor, receives the
+// messages of its neighbors, and updates its state. Each node knows its own
+// unique identifier, its degree, and the total number of nodes n. A node
+// terminates when it irrevocably fixes its output; the running time of node v
+// is the number T_v of rounds until v terminates.
+//
+// The node-averaged complexity of an execution is (1/n) * sum_v T_v (Section
+// 2 of the paper).
+//
+// Terminated nodes keep participating passively: their frozen output remains
+// visible to their neighbors (this is the standard convention, and the
+// weighted LCLs of the paper rely on neighbors observing outputs of
+// terminated nodes).
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Common simulator errors.
+var (
+	ErrRoundLimit = errors.New("round limit exceeded before all nodes terminated")
+	ErrNilOutput  = errors.New("machine terminated with nil output")
+)
+
+// NodeInfo is the static information available to a node at the start of the
+// computation: exactly what a LOCAL node legitimately knows.
+type NodeInfo struct {
+	// ID is the node's globally unique identifier.
+	ID uint64
+	// Degree is the number of incident edges (ports 0..Degree-1).
+	Degree int
+	// N is the total number of nodes in the network.
+	N int
+	// Input is the node's LCL input label (problem specific; may be nil).
+	Input any
+}
+
+// Machine is the per-node state machine of a distributed algorithm.
+type Machine interface {
+	// Step executes one synchronous round. recv[i] holds the message received
+	// on port i this round (nil if the neighbor sent nothing). It returns the
+	// messages to send on each port next round (send may be nil or shorter
+	// than Degree; missing entries mean "no message") and whether the node
+	// terminates *now*. Once done is returned, Step is never called again.
+	Step(round int, recv []any) (send []any, done bool)
+	// Output returns the node's final output; called only after termination.
+	Output() any
+}
+
+// Algorithm constructs the state machine for one node.
+type Algorithm interface {
+	// Name identifies the algorithm in traces and errors.
+	Name() string
+	// NewMachine creates the state machine for a node with the given static
+	// info.
+	NewMachine(info NodeInfo) Machine
+}
+
+// Terminated is the message the runtime delivers on behalf of a terminated
+// neighbor in every subsequent round: the neighbor's frozen output.
+type Terminated struct {
+	Output any
+}
+
+// Result captures an execution of an algorithm on a graph.
+type Result struct {
+	// Rounds[v] is T_v, the round in which node v terminated (a node that
+	// terminates before sending or receiving anything has T_v = 0).
+	Rounds []int
+	// Outputs[v] is node v's output.
+	Outputs []any
+	// TotalRounds is the worst-case round count max_v T_v.
+	TotalRounds int
+	// Messages is the total number of non-nil messages delivered.
+	Messages int64
+}
+
+// NodeAveraged returns (1/n) * sum_v T_v.
+func (r *Result) NodeAveraged() float64 {
+	if len(r.Rounds) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, t := range r.Rounds {
+		sum += int64(t)
+	}
+	return float64(sum) / float64(len(r.Rounds))
+}
+
+// SumRounds returns sum_v T_v.
+func (r *Result) SumRounds() int64 {
+	var sum int64
+	for _, t := range r.Rounds {
+		sum += int64(t)
+	}
+	return sum
+}
+
+// Config controls an execution.
+type Config struct {
+	// IDs assigns the identifier of each node; if nil, DefaultIDs(seed=1) is
+	// used.
+	IDs []uint64
+	// Inputs assigns each node's input label; may be nil.
+	Inputs []any
+	// MaxRounds aborts the run if some node has not terminated after this
+	// many rounds; 0 means 4*n + 64 (a generous bound for linear-time
+	// algorithms).
+	MaxRounds int
+}
+
+// Run executes alg on t under cfg.
+func Run(t *graph.Tree, alg Algorithm, cfg Config) (*Result, error) {
+	n := t.N()
+	if n == 0 {
+		return nil, graph.ErrEmpty
+	}
+	ids := cfg.IDs
+	if ids == nil {
+		ids = DefaultIDs(n, 1)
+	}
+	if len(ids) != n {
+		return nil, fmt.Errorf("sim: %d IDs for %d nodes", len(ids), n)
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 4*n + 64
+	}
+
+	machines := make([]Machine, n)
+	for v := 0; v < n; v++ {
+		var input any
+		if cfg.Inputs != nil {
+			input = cfg.Inputs[v]
+		}
+		machines[v] = alg.NewMachine(NodeInfo{
+			ID:     ids[v],
+			Degree: t.Degree(v),
+			N:      n,
+			Input:  input,
+		})
+	}
+
+	res := &Result{
+		Rounds:  make([]int, n),
+		Outputs: make([]any, n),
+	}
+	done := make([]bool, n)
+	remaining := n
+
+	// inbox[v][p] is the message node v receives on port p this round.
+	inbox := make([][]any, n)
+	next := make([][]any, n)
+	for v := 0; v < n; v++ {
+		inbox[v] = make([]any, t.Degree(v))
+		next[v] = make([]any, t.Degree(v))
+	}
+	// portOf[v][i] = the port on neighbor u = adj[v][i] that leads back to v.
+	portOf := reversePorts(t)
+
+	for round := 0; ; round++ {
+		if remaining == 0 {
+			res.TotalRounds = round
+			return res, nil
+		}
+		if round > maxRounds {
+			return nil, fmt.Errorf("%w: algorithm %q, n=%d, limit=%d",
+				ErrRoundLimit, alg.Name(), n, maxRounds)
+		}
+		for v := 0; v < n; v++ {
+			if done[v] {
+				continue
+			}
+			send, fin := machines[v].Step(round, inbox[v])
+			for p := 0; p < len(send) && p < t.Degree(v); p++ {
+				if send[p] == nil {
+					continue
+				}
+				u := t.Neighbor(v, p)
+				next[u][portOf[v][p]] = send[p]
+				res.Messages++
+			}
+			if fin {
+				done[v] = true
+				remaining--
+				res.Rounds[v] = round
+				out := machines[v].Output()
+				if out == nil {
+					return nil, fmt.Errorf("%w: algorithm %q node %d",
+						ErrNilOutput, alg.Name(), v)
+				}
+				res.Outputs[v] = out
+				// From the next round on, neighbors observe the frozen
+				// output. A final message sent in the terminating round
+				// still takes precedence.
+				for p := 0; p < t.Degree(v); p++ {
+					u := t.Neighbor(v, p)
+					if next[u][portOf[v][p]] == nil {
+						next[u][portOf[v][p]] = Terminated{Output: out}
+					}
+				}
+			}
+		}
+		// Terminated nodes keep their frozen output visible: re-deliver it
+		// every round at zero cost.
+		for v := 0; v < n; v++ {
+			if !done[v] {
+				continue
+			}
+			for p := 0; p < t.Degree(v); p++ {
+				u := t.Neighbor(v, p)
+				if !done[u] && next[u][portOf[v][p]] == nil {
+					next[u][portOf[v][p]] = Terminated{Output: res.Outputs[v]}
+				}
+			}
+		}
+		inbox, next = next, inbox
+		for v := 0; v < n; v++ {
+			clearAny(next[v])
+		}
+	}
+}
+
+func clearAny(xs []any) {
+	for i := range xs {
+		xs[i] = nil
+	}
+}
+
+// reversePorts computes, for each directed edge (v, port p), the port on the
+// other endpoint that leads back to v.
+func reversePorts(t *graph.Tree) [][]int {
+	n := t.N()
+	out := make([][]int, n)
+	for v := 0; v < n; v++ {
+		out[v] = make([]int, t.Degree(v))
+	}
+	// Degrees are bounded, so the inner scan is O(Δ).
+	for v := 0; v < n; v++ {
+		for p, w := range t.NeighborsRaw(v) {
+			u := int(w)
+			for q, x := range t.NeighborsRaw(u) {
+				if int(x) == v {
+					out[v][p] = q
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DefaultIDs produces n distinct pseudo-random 63-bit identifiers from a
+// seed, deterministic across runs (splitmix64 stream with collision
+// avoidance; collisions at these sizes are practically impossible but are
+// handled anyway).
+func DefaultIDs(n int, seed uint64) []uint64 {
+	ids := make([]uint64, n)
+	used := make(map[uint64]bool, n)
+	s := seed
+	for i := 0; i < n; i++ {
+		for {
+			s += 0x9e3779b97f4a7c15
+			z := s
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			z ^= z >> 31
+			z >>= 1 // keep IDs in 63 bits
+			if z != 0 && !used[z] {
+				used[z] = true
+				ids[i] = z
+				break
+			}
+		}
+	}
+	return ids
+}
+
+// SequentialIDs returns IDs 1..n (useful for adversarial/parity tests).
+func SequentialIDs(n int) []uint64 {
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = uint64(i + 1)
+	}
+	return ids
+}

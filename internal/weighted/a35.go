@@ -1,0 +1,291 @@
+package weighted
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/decomp"
+	"repro/internal/dfree"
+	"repro/internal/graph"
+	"repro/internal/hierarchy"
+	"repro/internal/landscape"
+)
+
+// connectRound is the constant round at which the 5-hop Connect
+// preprocessing of Section 8.2 completes.
+const connectRound = 5
+
+// SolveLogStar runs the generic Π^{3.5}_{Δ,d,k} algorithm of Section 8.2.
+//
+// Active components execute the hierarchical generic algorithm with
+// γ_i = ⌈scale^{α_i}⌉ where the α_i are the optimal log*-regime exponents of
+// Lemma 36 for x′ = log(Δ−d+1)/log(Δ−1). In the paper, scale = log* n; since
+// log* n is bounded by 5 for any graph that fits in a computer, experiments
+// sweep the scale parameter directly (substitution 5 in DESIGN.md).
+//
+// Weight components follow the adapted fast-decomposition scheme: A-nodes
+// within distance 5 Connect; the rest of the component is peeled by
+// rake-and-compress (our substitute for [BBK+23a]'s Fast Decomposition
+// Algorithm, with a node's termination charged proportionally to its peeling
+// iteration — O(1) node-averaged by geometric decay); each remaining A-node
+// v owns a domain C(v) that is pruned to a Copy set C′(v) of size
+// O(|C(v)|^{x′}) by declining the d−2 heaviest children of every Copy node
+// (Lemma 52); Copy nodes wait for v's active neighbor and then flood its
+// output.
+func SolveLogStar(t *graph.Tree, inputs []NodeInput, p Problem, ids []uint64, scale int) (*Result, error) {
+	if p.Variant != hierarchy.Coloring35 {
+		return nil, fmt.Errorf("weighted: SolveLogStar requires the 3½ variant, got %v", p.Variant)
+	}
+	if p.D < 3 {
+		return nil, fmt.Errorf("weighted: SolveLogStar requires d >= 3 (Theorem 5), got %d", p.D)
+	}
+	if scale < 1 {
+		return nil, fmt.Errorf("weighted: scale %d < 1", scale)
+	}
+	n := t.N()
+	if len(inputs) != n || len(ids) != n {
+		return nil, fmt.Errorf("weighted: inputs/ids length mismatch (n=%d)", n)
+	}
+	xPrime, err := landscape.EfficiencyXPrime(p.Delta, p.D)
+	if err != nil {
+		return nil, err
+	}
+	if xPrime > 1 {
+		xPrime = 1
+	}
+	alphas, err := landscape.Alphas(landscape.RegimeLogStar, xPrime, p.K)
+	if err != nil {
+		return nil, err
+	}
+	gammas := make([]int, p.K-1)
+	for i, a := range alphas {
+		gammas[i] = int(math.Ceil(math.Pow(float64(scale), a)))
+		if gammas[i] < 1 {
+			gammas[i] = 1
+		}
+	}
+	res := &Result{
+		Out:    make([]Output, n),
+		Rounds: make([]int, n),
+	}
+	if err := runActiveComponents(t, inputs, p, ids, gammas, res); err != nil {
+		return nil, err
+	}
+	weightMask := make([]bool, n)
+	for v := 0; v < n; v++ {
+		weightMask[v] = inputs[v] == InputWeight
+	}
+	for _, comp := range graph.InducedComponents(t, weightMask) {
+		if err := solveWeightComponent35(t, inputs, p, comp, res); err != nil {
+			return nil, err
+		}
+	}
+	if err := repairCopyBudget(t, inputs, p, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func solveWeightComponent35(t *graph.Tree, inputs []NodeInput, p Problem, comp *graph.Component, res *Result) error {
+	m := comp.Tree.N()
+	isA := make([]bool, m)
+	for i, v := range comp.Nodes {
+		for _, w := range t.NeighborsRaw(v) {
+			if inputs[w] == InputActive {
+				isA[i] = true
+				break
+			}
+		}
+	}
+	// Step 1: A-nodes within distance 5 of each other Connect the joining
+	// path.
+	connect := dfree.ShortPathConnect(comp.Tree, isA, connectRound)
+	// Step 2: peel the component; the iteration of a node's layer assignment
+	// drives its termination round.
+	dec, err := decomp.Compute(comp.Tree, decomp.Options{Gamma: 1, Ell: 3})
+	if err != nil {
+		return err
+	}
+	declineRound := func(i int) int { return dec.Assign[i].Iter + connectRound }
+	// Step 3: domains of the remaining A-nodes (multi-source BFS avoiding
+	// Connect nodes; ties to the lower-indexed A-node).
+	domain := make([]int, m) // component index of the owning A-node, -1 none
+	for i := range domain {
+		domain[i] = -1
+	}
+	var sources []int
+	for i := 0; i < m; i++ {
+		if isA[i] && !connect[i] {
+			sources = append(sources, i)
+		}
+	}
+	sort.Ints(sources)
+	queue := make([]int, 0, m)
+	for _, s := range sources {
+		domain[s] = s
+		queue = append(queue, s)
+	}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		for _, w := range comp.Tree.NeighborsRaw(i) {
+			j := int(w)
+			if domain[j] == -1 && !connect[j] {
+				domain[j] = domain[i]
+				queue = append(queue, j)
+			}
+		}
+	}
+	// Defaults: Connect / Decline.
+	for i, v := range comp.Nodes {
+		if connect[i] {
+			res.Out[v] = Output{Kind: KindConnect}
+			res.Rounds[v] = connectRound
+		} else {
+			res.Out[v] = Output{Kind: KindDecline}
+			res.Rounds[v] = declineRound(i)
+		}
+	}
+	// Step 4: per domain, prune to the Copy set C'(v) and flood the active
+	// neighbor's output.
+	for _, root := range sources {
+		copySet := pruneDomain(comp.Tree, domain, root, p.D-2)
+		origRoot := comp.Nodes[root]
+		bestT := -1
+		var bestLabel hierarchy.Label
+		for _, w := range t.NeighborsRaw(origRoot) {
+			u := int(w)
+			if res.Out[u].Kind == KindActive {
+				if bestT == -1 || res.Rounds[u] < bestT {
+					bestT = res.Rounds[u]
+					bestLabel = res.Out[u].Label
+				}
+			}
+		}
+		if bestT == -1 {
+			return fmt.Errorf("weighted: A-node %d has no active neighbor", origRoot)
+		}
+		start := declineRound(root)
+		if bestT+1 > start {
+			start = bestT + 1
+		}
+		for i, depth := range copySetDepths(comp.Tree, root, copySet) {
+			v := comp.Nodes[i]
+			res.Out[v] = Output{Kind: KindCopy, Label: bestLabel}
+			res.Rounds[v] = start + depth
+		}
+	}
+	return nil
+}
+
+// pruneDomain performs the Lemma 52 reassignment on the domain of root:
+// starting from root (which must Copy), every Copy node declines its
+// `budget` heaviest children within the domain and keeps the rest as Copy,
+// yielding a Copy set whose fan-out is at most Δ−1−budget.
+func pruneDomain(t *graph.Tree, domain []int, root, budget int) []int {
+	if budget < 0 {
+		budget = 0
+	}
+	// BFS tree of the domain rooted at root.
+	parent := map[int]int{root: -1}
+	order := []int{root}
+	queue := []int{root}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		for _, w := range t.NeighborsRaw(i) {
+			j := int(w)
+			if domain[j] != domain[root] {
+				continue
+			}
+			if _, ok := parent[j]; !ok {
+				parent[j] = i
+				order = append(order, j)
+				queue = append(queue, j)
+			}
+		}
+	}
+	size := make(map[int]int, len(order))
+	children := make(map[int][]int, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		size[v]++
+		if p := parent[v]; p >= 0 {
+			size[p] += size[v]
+			children[p] = append(children[p], v)
+		}
+	}
+	copySet := []int{root}
+	frontier := []int{root}
+	for len(frontier) > 0 {
+		v := frontier[0]
+		frontier = frontier[1:]
+		kids := append([]int(nil), children[v]...)
+		sort.Slice(kids, func(a, b int) bool { return size[kids[a]] > size[kids[b]] })
+		drop := budget
+		if drop > len(kids) {
+			drop = len(kids)
+		}
+		for _, c := range kids[drop:] {
+			copySet = append(copySet, c)
+			frontier = append(frontier, c)
+		}
+	}
+	return copySet
+}
+
+// repairCopyBudget demotes Copy nodes that ended up with more than d
+// Decline neighbors or with a secondary-label conflict against an adjacent
+// Copy node (possible only at domain boundaries in irregular instances;
+// never on the paper's constructions). Demoting a weight node that sits next
+// to an active node would violate property 2, so that case is an error.
+func repairCopyBudget(t *graph.Tree, inputs []NodeInput, p Problem, res *Result) error {
+	adjActive := func(v int) bool {
+		for _, w := range t.NeighborsRaw(v) {
+			if inputs[w] == InputActive {
+				return true
+			}
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < t.N(); v++ {
+			if res.Out[v].Kind != KindCopy {
+				continue
+			}
+			declines := 0
+			conflict := -1
+			for _, w := range t.NeighborsRaw(v) {
+				u := int(w)
+				if res.Out[u].Kind == KindDecline {
+					declines++
+				}
+				if res.Out[u].Kind == KindCopy && res.Out[u].Label != res.Out[v].Label {
+					conflict = u
+				}
+			}
+			if declines > p.D {
+				if adjActive(v) {
+					return fmt.Errorf("weighted: A-node %d exceeds decline budget and cannot be demoted", v)
+				}
+				res.Out[v] = Output{Kind: KindDecline}
+				changed = true
+				continue
+			}
+			if conflict >= 0 {
+				victim := v
+				if adjActive(v) {
+					victim = conflict
+				}
+				if adjActive(victim) {
+					return fmt.Errorf("weighted: adjacent A-nodes %d and %d copy conflicting labels", v, conflict)
+				}
+				res.Out[victim] = Output{Kind: KindDecline}
+				changed = true
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package weighted
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Instance is a concrete input for Π^Z_{Δ,d,k}: a tree plus Active/Weight
+// input labels, with construction metadata.
+type Instance struct {
+	Problem Problem
+	Tree    *graph.Tree
+	Inputs  []NodeInput
+	// Hier is the active-core construction metadata (indices of the active
+	// nodes coincide with the hierarchical graph's node indices).
+	Hier *graph.Hierarchical
+	// WeightRoots maps the root of each attached weight tree to its host
+	// active node.
+	WeightRoots map[int]int
+}
+
+// NumActive returns the number of active nodes.
+func (in *Instance) NumActive() int { return in.Hier.Tree.N() }
+
+// BuildInstance builds the weighted lower-bound construction of
+// Definition 25 (Figure 4): the k-hierarchical lower-bound graph with path
+// lengths `lengths` forms the active core; for every construction level
+// i = 2..k, weightPerLevel weight nodes are distributed evenly among the
+// level-i nodes as balanced Δ-regular trees, one per node.
+func BuildInstance(p Problem, lengths []int, weightPerLevel int) (*Instance, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(lengths) != p.K {
+		return nil, fmt.Errorf("weighted: %d lengths for k=%d", len(lengths), p.K)
+	}
+	if p.K < 2 {
+		return nil, fmt.Errorf("weighted: construction needs k >= 2, got %d", p.K)
+	}
+	if weightPerLevel < 0 {
+		return nil, fmt.Errorf("weighted: negative weight budget %d", weightPerLevel)
+	}
+	h, err := graph.BuildHierarchical(lengths)
+	if err != nil {
+		return nil, err
+	}
+	nActive := h.Tree.N()
+	b := graph.NewBuilder(nActive + (p.K-1)*weightPerLevel)
+	b.AddNodes(nActive)
+	for _, e := range h.Tree.Edges() {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	roots := make(map[int]int)
+	for level := 2; level <= p.K; level++ {
+		hosts := hostsOfLevel(h, level)
+		if len(hosts) == 0 {
+			continue
+		}
+		per := weightPerLevel / len(hosts)
+		if per < 1 {
+			per = 1
+		}
+		for _, host := range hosts {
+			root, err := attachBalanced(b, host, p.Delta, per)
+			if err != nil {
+				return nil, err
+			}
+			roots[root] = host
+		}
+	}
+	tree, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	inputs := make([]NodeInput, tree.N())
+	for v := nActive; v < tree.N(); v++ {
+		inputs[v] = InputWeight
+	}
+	return &Instance{
+		Problem:     p,
+		Tree:        tree,
+		Inputs:      inputs,
+		Hier:        h,
+		WeightRoots: roots,
+	}, nil
+}
+
+func hostsOfLevel(h *graph.Hierarchical, level int) []int {
+	var hosts []int
+	for _, path := range h.Paths[level-1] {
+		hosts = append(hosts, path...)
+	}
+	return hosts
+}
+
+// attachBalanced adds a balanced tree of `size` weight nodes with maximum
+// degree delta (the root keeps one port for the host) and connects its root
+// to host. It returns the root's index.
+func attachBalanced(b *graph.Builder, host, delta, size int) (int, error) {
+	if size < 1 {
+		return 0, fmt.Errorf("weighted: balanced attachment of size %d", size)
+	}
+	first := b.AddNodes(size)
+	if err := b.AddEdge(host, first); err != nil {
+		return 0, err
+	}
+	fan := delta - 1
+	next := first + 1
+	last := first + size - 1
+	for v := first; v <= last && next <= last; v++ {
+		for c := 0; c < fan && next <= last; c++ {
+			if err := b.AddEdge(v, next); err != nil {
+				return 0, err
+			}
+			next++
+		}
+	}
+	return first, nil
+}

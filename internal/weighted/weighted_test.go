@@ -1,0 +1,361 @@
+package weighted
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/hierarchy"
+	"repro/internal/landscape"
+	"repro/internal/sim"
+)
+
+func prob25(t *testing.T, delta, d, k int) Problem {
+	t.Helper()
+	p := Problem{Variant: hierarchy.Coloring25, Delta: delta, D: d, K: k}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func prob35(t *testing.T, delta, d, k int) Problem {
+	t.Helper()
+	p := Problem{Variant: hierarchy.Coloring35, Delta: delta, D: d, K: k}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBuildInstanceShape(t *testing.T) {
+	p := prob25(t, 5, 2, 2)
+	inst, err := BuildInstance(p, []int{10, 12}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Tree.MaxDegree() > p.Delta {
+		t.Fatalf("max degree %d > Δ=%d", inst.Tree.MaxDegree(), p.Delta)
+	}
+	nActive := inst.NumActive()
+	if nActive != 10*12+12 {
+		t.Fatalf("active core %d nodes, want 132", nActive)
+	}
+	weight := 0
+	for _, in := range inst.Inputs {
+		if in == InputWeight {
+			weight++
+		}
+	}
+	if weight != inst.Tree.N()-nActive {
+		t.Fatalf("weight count inconsistent")
+	}
+	if weight < 400 {
+		t.Fatalf("only %d weight nodes for budget 500", weight)
+	}
+	// Every weight root is adjacent to its level-2 host.
+	for root, host := range inst.WeightRoots {
+		if !inst.Tree.HasEdge(root, host) {
+			t.Fatalf("weight root %d not adjacent to host %d", root, host)
+		}
+		if inst.Inputs[root] != InputWeight || inst.Inputs[host] != InputActive {
+			t.Fatal("weight root / host inputs wrong")
+		}
+	}
+}
+
+func TestBuildInstanceRejectsBadParams(t *testing.T) {
+	p := prob25(t, 5, 2, 2)
+	if _, err := BuildInstance(p, []int{10}, 100); err == nil {
+		t.Error("wrong lengths accepted")
+	}
+	p1 := Problem{Variant: hierarchy.Coloring25, Delta: 5, D: 2, K: 1}
+	if _, err := BuildInstance(p1, []int{10}, 100); err == nil {
+		t.Error("k=1 construction accepted")
+	}
+	bad := Problem{Variant: hierarchy.Coloring25, Delta: 4, D: 2, K: 2}
+	if _, err := BuildInstance(bad, []int{4, 4}, 10); err == nil {
+		t.Error("Δ < d+3 accepted")
+	}
+}
+
+func TestSolvePolyOnConstruction(t *testing.T) {
+	p := prob25(t, 5, 2, 2)
+	inst, err := BuildInstance(p, []int{12, 20}, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := sim.DefaultIDs(inst.Tree.N(), 3)
+	res, err := SolvePoly(inst.Tree, inst.Inputs, p, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(inst.Tree, inst.Inputs, res.Out); err != nil {
+		t.Fatal(err)
+	}
+	if res.NodeAveraged() <= 0 {
+		t.Fatal("node-averaged should be positive")
+	}
+	// Copy nodes exist: the construction is built to force copying.
+	copies := 0
+	for _, o := range res.Out {
+		if o.Kind == KindCopy {
+			copies++
+		}
+	}
+	if copies == 0 {
+		t.Fatal("no Copy outputs on the weighted construction")
+	}
+}
+
+func TestSolvePolyScalingMatchesAlpha1(t *testing.T) {
+	// E-T2T3 smoke check: the measured node-averaged complexity of A_poly on
+	// the Definition-25 construction grows like n^{α1} — compare the fitted
+	// slope over a small sweep with the theory value within a loose band.
+	// (The full sweep lives in the benchmark harness.)
+	p := prob25(t, 5, 2, 2)
+	x, err := landscape.EfficiencyX(p.Delta, p.D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha1, err := landscape.Alpha1Poly(x, p.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alphas, err := landscape.Alphas(landscape.RegimePolynomial, x, p.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ns, avgs []float64
+	for _, target := range []int{3000, 12000, 48000} {
+		// ℓ_1 = n^{α1}, ℓ_2 = n^{1−α1}; weight n/k per level.
+		l1 := int(math.Pow(float64(target), alphas[0]))
+		l2 := target / (2 * l1)
+		inst, err := BuildInstance(p, []int{l1, l2}, target/2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := sim.DefaultIDs(inst.Tree.N(), 9)
+		res, err := SolvePoly(inst.Tree, inst.Inputs, p, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Verify(inst.Tree, inst.Inputs, res.Out); err != nil {
+			t.Fatal(err)
+		}
+		ns = append(ns, float64(inst.Tree.N()))
+		avgs = append(avgs, res.NodeAveraged())
+	}
+	slope := (math.Log(avgs[len(avgs)-1]) - math.Log(avgs[0])) /
+		(math.Log(ns[len(ns)-1]) - math.Log(ns[0]))
+	if slope < alpha1-0.2 || slope > alpha1+0.25 {
+		t.Fatalf("fitted slope %.3f not near α1 = %.3f (avgs %v at ns %v)",
+			slope, alpha1, avgs, ns)
+	}
+}
+
+func TestSolveLogStarOnConstruction(t *testing.T) {
+	p := prob35(t, 7, 3, 2)
+	inst, err := BuildInstance(p, []int{8, 30}, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := sim.DefaultIDs(inst.Tree.N(), 4)
+	res, err := SolveLogStar(inst.Tree, inst.Inputs, p, ids, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(inst.Tree, inst.Inputs, res.Out); err != nil {
+		t.Fatal(err)
+	}
+	copies := 0
+	for _, o := range res.Out {
+		if o.Kind == KindCopy {
+			copies++
+		}
+	}
+	if copies == 0 {
+		t.Fatal("no Copy outputs")
+	}
+}
+
+func TestSolveLogStarRequiresD3(t *testing.T) {
+	p := prob35(t, 5, 2, 2)
+	inst, err := BuildInstance(p, []int{4, 6}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := sim.DefaultIDs(inst.Tree.N(), 1)
+	if _, err := SolveLogStar(inst.Tree, inst.Inputs, p, ids, 8); err == nil {
+		t.Fatal("d=2 accepted by SolveLogStar")
+	}
+}
+
+func TestSolveLogStarWeightSideIsCheap(t *testing.T) {
+	// Lemma 56 shape: the weight nodes that never join a Copy set terminate
+	// in O(1) node-averaged rounds (geometric decay of the peeling).
+	p := prob35(t, 7, 3, 2)
+	inst, err := BuildInstance(p, []int{8, 20}, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := sim.DefaultIDs(inst.Tree.N(), 11)
+	res, err := SolveLogStar(inst.Tree, inst.Inputs, p, ids, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var declSum, declCount float64
+	for v, o := range res.Out {
+		if o.Kind == KindDecline {
+			declSum += float64(res.Rounds[v])
+			declCount++
+		}
+	}
+	if declCount == 0 {
+		t.Fatal("no declining weight nodes")
+	}
+	if avg := declSum / declCount; avg > 20 {
+		t.Fatalf("average Decline round %.2f, want O(1)-ish", avg)
+	}
+}
+
+func randomMixedTree(rng *rand.Rand, n, maxDeg int, weightFrac float64) (*graph.Tree, []NodeInput) {
+	b := graph.NewBuilder(n)
+	b.AddNode()
+	deg := make([]int, n)
+	for v := 1; v < n; v++ {
+		b.AddNode()
+		for {
+			u := rng.Intn(v)
+			if deg[u] < maxDeg-1 {
+				if err := b.AddEdge(v, u); err != nil {
+					panic(err)
+				}
+				deg[u]++
+				deg[v]++
+				break
+			}
+		}
+	}
+	tr := b.MustBuild()
+	inputs := make([]NodeInput, n)
+	for v := range inputs {
+		if rng.Float64() < weightFrac {
+			inputs[v] = InputWeight
+		}
+	}
+	return tr, inputs
+}
+
+func TestSolvePolyOnRandomMixedTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	p := prob25(t, 6, 2, 2)
+	for trial := 0; trial < 10; trial++ {
+		tr, inputs := randomMixedTree(rng, 80+rng.Intn(300), p.Delta, 0.5)
+		ids := sim.DefaultIDs(tr.N(), uint64(trial+1))
+		res, err := SolvePoly(tr, inputs, p, ids)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := p.Verify(tr, inputs, res.Out); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestSolveLogStarOnRandomMixedTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	p := prob35(t, 7, 3, 2)
+	for trial := 0; trial < 10; trial++ {
+		tr, inputs := randomMixedTree(rng, 80+rng.Intn(300), p.Delta, 0.5)
+		ids := sim.DefaultIDs(tr.N(), uint64(trial+100))
+		res, err := SolveLogStar(tr, inputs, p, ids, 8)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := p.Verify(tr, inputs, res.Out); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestVerifyRejectsBrokenWeightedOutputs(t *testing.T) {
+	p := prob25(t, 5, 2, 2)
+	inst, err := BuildInstance(p, []int{6, 8}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := sim.DefaultIDs(inst.Tree.N(), 2)
+	res, err := SolvePoly(inst.Tree, inst.Inputs, p, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(inst.Tree, inst.Inputs, res.Out); err != nil {
+		t.Fatal(err)
+	}
+	// Weight root declining next to active violates property 2.
+	out := append([]Output(nil), res.Out...)
+	for root := range inst.WeightRoots {
+		out[root] = Output{Kind: KindDecline}
+		break
+	}
+	if p.Verify(inst.Tree, inst.Inputs, out) == nil {
+		t.Error("declining A-weight node accepted")
+	}
+	// Copy with wrong secondary violates property 5.
+	out = append([]Output(nil), res.Out...)
+	for root := range inst.WeightRoots {
+		if out[root].Kind == KindCopy {
+			wrong := hierarchy.LabelW
+			if out[root].Label == hierarchy.LabelW {
+				wrong = hierarchy.LabelB
+			}
+			out[root] = Output{Kind: KindCopy, Label: wrong}
+			if p.Verify(inst.Tree, inst.Inputs, out) == nil {
+				t.Error("mismatched secondary accepted")
+			}
+			break
+		}
+	}
+	// Active node with weight-kind output.
+	out = append([]Output(nil), res.Out...)
+	out[0] = Output{Kind: KindDecline}
+	if p.Verify(inst.Tree, inst.Inputs, out) == nil {
+		t.Error("weight-kind output on active node accepted")
+	}
+}
+
+func TestCopyWaitsForActive(t *testing.T) {
+	// The whole point of the weight machinery: Copy nodes terminate after
+	// the active node they copy from.
+	p := prob25(t, 5, 2, 2)
+	inst, err := BuildInstance(p, []int{10, 14}, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := sim.DefaultIDs(inst.Tree.N(), 8)
+	res, err := SolvePoly(inst.Tree, inst.Inputs, p, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for root, host := range inst.WeightRoots {
+		if res.Out[root].Kind != KindCopy {
+			continue
+		}
+		if res.Rounds[root] <= res.Rounds[host] {
+			// The root may copy from a different active neighbor, but the
+			// host is its only active neighbor in this construction.
+			t.Fatalf("copy root %d terminated at %d, host %d at %d",
+				root, res.Rounds[root], host, res.Rounds[host])
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no copy roots to check")
+	}
+}

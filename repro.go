@@ -1,0 +1,97 @@
+// Package repro is a Go reproduction of "Completing the Node-Averaged
+// Complexity Landscape of LCLs on Trees" (Balliu, Brandt, Kuhn, Olivetti,
+// Schmid; PODC 2024, arXiv:2405.01366).
+//
+// The library provides:
+//
+//   - a synchronous LOCAL-model simulator with per-node termination rounds
+//     and node-averaged complexity accounting (internal/sim);
+//   - the k-hierarchical 2½/3½-coloring LCLs, their verifier, and the
+//     generic phase algorithm of Section 4.1 (internal/hierarchy);
+//   - the weighted problems Π^Z_{Δ,d,k} of Definition 22 with both
+//     upper-bound algorithms and the Definition-25 lower-bound constructions
+//     (internal/weighted, internal/dfree, internal/decomp);
+//   - the Section-10 weight-augmented 2½-coloring closing the Θ(n^{1/k})
+//     points (internal/labeling);
+//   - the landscape mathematics: α₁ exponents, efficiency factors, and the
+//     density parameter searches behind Theorems 1 and 6
+//     (internal/landscape);
+//   - the Section-11 decidability machinery for path LCLs
+//     (internal/pathlcl);
+//   - experiment drivers regenerating every figure/theorem-shaped result of
+//     the paper (internal/core), exposed here and in cmd/experiments.
+//
+// This file re-exports the experiment drivers so that downstream users (and
+// the repository-level benchmarks in bench_test.go) have a stable entry
+// point without reaching into internal packages.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/measure"
+)
+
+// ExpResult is a scaling-experiment outcome: a formatted table, the fitted
+// exponent, and the paper's exponent(s).
+type ExpResult = core.ExpResult
+
+// Table is a formatted result table.
+type Table = measure.Table
+
+// Hierarchical35 reproduces Theorem 11 (E-T11): node-averaged complexity of
+// k-hierarchical 3½-coloring is Θ(t) at scale parameter t = T.
+func Hierarchical35(k int, scales []int, seed uint64) (*ExpResult, error) {
+	return core.Hierarchical35(k, scales, seed)
+}
+
+// Weighted25 reproduces Theorems 2-3 (E-T2T3): Π^{2.5}_{Δ,d,k} has
+// node-averaged complexity Θ(n^{α1(x)}).
+func Weighted25(delta, d, k int, sizes []int, seed uint64) (*ExpResult, error) {
+	return core.Weighted25(delta, d, k, sizes, seed)
+}
+
+// Weighted35 reproduces Theorems 4-5 (E-T4T5): Π^{3.5}_{Δ,d,k} scales
+// between (log* n)^{α1(x)} and (log* n)^{α1(x′)} in the scale parameter.
+func Weighted35(delta, d, k int, scales []int, weightFactor int, seed uint64) (*ExpResult, error) {
+	return core.Weighted35(delta, d, k, scales, weightFactor, seed)
+}
+
+// WeightAugmented reproduces Lemmas 68-69 (E-L68): node-averaged complexity
+// Θ(n^{1/k}) for the weight-augmented 2½-coloring.
+func WeightAugmented(k, delta int, sizes []int, seed uint64) (*ExpResult, error) {
+	return core.WeightAugmented(k, delta, sizes, seed)
+}
+
+// TwoColoringGap reproduces Corollary 60 (E-C60): node-averaged Θ(n) for
+// 2-coloring paths, via real message-passing simulation.
+func TwoColoringGap(sizes []int, seed uint64) (*ExpResult, error) {
+	return core.TwoColoringGap(sizes, seed)
+}
+
+// CopyFraction reproduces Lemma 40 (E-L40): Copy-set size w^x of Algorithm
+// 𝒜 on balanced Δ-regular weight trees.
+func CopyFraction(delta, d int, sizes []int) (*ExpResult, error) {
+	return core.CopyFraction(delta, d, sizes)
+}
+
+// DensityPoly reproduces Theorem 1 (E-T1): concrete (Δ,d,k) witnesses for
+// exponents in requested intervals.
+func DensityPoly(intervals [][2]float64) (Table, error) {
+	return core.DensityPoly(intervals)
+}
+
+// DensityLogStar reproduces Theorem 6 (E-T6).
+func DensityLogStar(intervals [][2]float64, eps float64) (Table, error) {
+	return core.DensityLogStar(intervals, eps)
+}
+
+// PathLCLTable reproduces the Theorem 7 decidability demonstration (E-T7).
+func PathLCLTable() (Table, error) { return core.PathLCLTable() }
+
+// LandscapeFigures renders Figures 1 and 2 of the paper as tables.
+func LandscapeFigures() (Table, Table) { return core.LandscapeFigures() }
+
+// SurvivorCounts reproduces the Lemma 13 survivor bound (E-GEN).
+func SurvivorCounts(lengths []int, gammas []int, seed uint64) (Table, error) {
+	return core.SurvivorCounts(lengths, gammas, seed)
+}
