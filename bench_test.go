@@ -1,8 +1,11 @@
 package repro
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
+	"repro/internal/coloring"
 	"repro/internal/graph"
 	"repro/internal/hierarchy"
 	"repro/internal/sim"
@@ -148,6 +151,45 @@ func BenchmarkGenericAlgorithm(b *testing.B) {
 		if _, err := hierarchy.RunAnalytic(h.Tree, levels, sched, ids); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRegistryRun measures the registry execution path end to end:
+// lookup, preset resolution, the quick E-C60 sweep, and JSON-native result
+// assembly.
+func BenchmarkRegistryRun(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		res, err := RunExperiment(ctx, "twocoloring-gap", RunConfig{Preset: "quick"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Fit == nil {
+			b.Fatal("missing fit")
+		}
+	}
+}
+
+// BenchmarkEngineParallelism compares the engine's sequential and parallel
+// backends on the message-heavy 2-coloring path (results are bit-identical
+// across backends; only wall-clock differs).
+func BenchmarkEngineParallelism(b *testing.B) {
+	const n = 2000
+	tr, err := graph.BuildPath(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := sim.DefaultIDs(n, 1)
+	for _, p := range []int{1, 2, 4, -1} { // -1 = GOMAXPROCS
+		b.Run(fmt.Sprintf("parallel=%d", p), func(b *testing.B) {
+			eng := sim.NewEngine(sim.WithIDs(ids), sim.WithParallelism(p))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(tr, coloring.TwoColorPathAlgorithm{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

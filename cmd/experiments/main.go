@@ -1,123 +1,145 @@
-// Command experiments regenerates every experiment of the per-experiment
-// index in DESIGN.md and prints the result tables (plain text by default,
-// markdown with -markdown). The markdown output is the source of
-// EXPERIMENTS.md.
+// Command experiments runs registered experiments from the registry
+// (internal/exp) and prints their result tables — plain text by default,
+// GitHub-flavored markdown with -markdown (the source of EXPERIMENTS.md), or
+// a machine-readable JSON array with -json.
+//
+// With no flags it regenerates every experiment of the per-experiment index
+// in DESIGN.md at the standard preset, in the historical output order.
+//
+// Examples:
+//
+//	experiments -list
+//	experiments -run twocoloring-gap -preset quick -json
+//	experiments -run weighted25-d5,weighted25-d6 -parallel 8
+//	experiments -preset stress -markdown
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sort"
+	"strings"
 
 	"repro"
 	"repro/internal/measure"
 )
 
 func main() {
-	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown")
-	quick := flag.Bool("quick", false, "smaller sweeps (faster)")
+	var (
+		list     = flag.Bool("list", false, "list registered experiments and exit")
+		run      = flag.String("run", "", "comma-separated experiment names (default: all)")
+		preset   = flag.String("preset", "standard", "sweep preset: quick | standard | stress")
+		jsonOut  = flag.Bool("json", false, "emit a JSON array of results")
+		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown")
+		parallel = flag.Int("parallel", 1, "simulator worker count (-1 = GOMAXPROCS)")
+		seed     = flag.Uint64("seed", 0, "override the experiments' default ID seeds (0 = defaults)")
+		quick    = flag.Bool("quick", false, "legacy alias for -preset quick")
+	)
 	flag.Parse()
-	if err := run(*markdown, *quick); err != nil {
+	if *quick {
+		*preset = "quick"
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := mainE(ctx, *list, *run, *preset, *jsonOut, *markdown, *parallel, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(markdown, quick bool) error {
-	emit := func(t measure.Table) {
-		if markdown {
-			fmt.Println(t.Markdown())
-		} else {
-			fmt.Println(t.Format())
-		}
+func mainE(ctx context.Context, list bool, run, preset string, jsonOut, markdown bool, parallel int, seed uint64) error {
+	if list {
+		return printList()
 	}
-	emitRes := func(r *repro.ExpResult, err error) error {
+	exps, err := selectExperiments(run)
+	if err != nil {
+		return err
+	}
+	cfg := repro.RunConfig{Preset: preset, Seed: seed, Parallelism: parallel}
+	var results []*repro.RunResult
+	for _, e := range exps {
+		res, err := e.Run(ctx, cfg)
 		if err != nil {
 			return err
 		}
-		emit(r.Table)
-		return nil
+		if jsonOut {
+			results = append(results, res)
+			continue
+		}
+		for _, tb := range res.Tables {
+			if markdown {
+				fmt.Println(tb.Markdown())
+			} else {
+				fmt.Println(tb.Format())
+			}
+		}
 	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(results)
+	}
+	return nil
+}
 
-	f1, f2 := repro.LandscapeFigures()
-	emit(f1)
-	emit(f2)
+// selectExperiments resolves -run against the registry; empty means all, in
+// registration (historical output) order.
+func selectExperiments(run string) ([]*repro.Experiment, error) {
+	if run == "" {
+		return repro.Experiments(), nil
+	}
+	var out []*repro.Experiment
+	for _, name := range strings.Split(run, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		e, ok := repro.LookupExperiment(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q (try -list)", name)
+		}
+		out = append(out, e)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-run selected no experiments")
+	}
+	return out, nil
+}
 
-	t11Scales := []int{12, 24, 48, 96, 144}
-	w25Sizes := []int{16000, 64000, 256000, 1024000, 4096000}
-	w25SizesK3 := []int{64000, 256000, 1024000, 4096000, 16384000}
-	w35Scales := []int{16, 32, 64, 128, 256}
-	augSizes := []int{16000, 64000, 256000, 1024000}
-	gapSizes := []int{200, 400, 800, 1600}
-	copySizes := []int{4000, 16000, 64000, 256000, 1024000}
-	if quick {
-		t11Scales = []int{8, 16, 32}
-		w25Sizes = []int{4000, 16000, 64000}
-		w25SizesK3 = w25Sizes
-		w35Scales = []int{8, 16, 32}
-		augSizes = []int{4000, 16000, 64000}
-		gapSizes = []int{200, 400, 800}
-		copySizes = []int{1000, 4000, 16000}
+// presetNames renders the presets an experiment actually registered,
+// canonical names first, any custom names after in sorted order.
+func presetNames(presets map[string][]int) string {
+	if len(presets) == 0 {
+		return "-"
 	}
+	var names []string
+	for _, p := range []string{"quick", "standard", "stress"} {
+		if _, ok := presets[p]; ok {
+			names = append(names, p)
+		}
+	}
+	var extra []string
+	for p := range presets {
+		if p != "quick" && p != "standard" && p != "stress" {
+			extra = append(extra, p)
+		}
+	}
+	sort.Strings(extra)
+	return strings.Join(append(names, extra...), "|")
+}
 
-	if err := emitRes(repro.Hierarchical35(2, t11Scales, 1)); err != nil {
-		return err
+func printList() error {
+	tb := measure.Table{
+		Title:  "registered experiments",
+		Header: []string{"name", "theory", "presets", "description"},
 	}
-	if err := emitRes(repro.Hierarchical35(3, []int{2, 3, 4, 5, 6}, 2)); err != nil {
-		return err
+	for _, e := range repro.Experiments() {
+		tb.AddRow(e.Name, e.Theory, presetNames(e.Presets), e.Description)
 	}
-	if err := emitRes(repro.Weighted25(5, 2, 2, w25Sizes, 3)); err != nil {
-		return err
-	}
-	if err := emitRes(repro.Weighted25(6, 2, 2, w25Sizes, 3)); err != nil {
-		return err
-	}
-	if err := emitRes(repro.Weighted25(5, 2, 3, w25SizesK3, 3)); err != nil {
-		return err
-	}
-	if err := emitRes(repro.Weighted35(7, 3, 2, w35Scales, 3, 4)); err != nil {
-		return err
-	}
-	if err := emitRes(repro.Weighted35(9, 3, 2, w35Scales, 3, 4)); err != nil {
-		return err
-	}
-	if err := emitRes(repro.WeightAugmented(2, 5, augSizes, 5)); err != nil {
-		return err
-	}
-	if err := emitRes(repro.WeightAugmented(3, 5, augSizes, 5)); err != nil {
-		return err
-	}
-	if err := emitRes(repro.TwoColoringGap(gapSizes, 6)); err != nil {
-		return err
-	}
-	if err := emitRes(repro.CopyFraction(5, 2, copySizes)); err != nil {
-		return err
-	}
-	if err := emitRes(repro.CopyFraction(7, 3, copySizes)); err != nil {
-		return err
-	}
-
-	dp, err := repro.DensityPoly([][2]float64{
-		{0.05, 0.1}, {0.1, 0.2}, {0.2, 0.3}, {0.3, 0.4}, {0.4, 0.5},
-	})
-	if err != nil {
-		return err
-	}
-	emit(dp)
-	dl, err := repro.DensityLogStar([][2]float64{{0.2, 0.4}, {0.4, 0.6}, {0.6, 0.8}}, 0.05)
-	if err != nil {
-		return err
-	}
-	emit(dl)
-	pt, err := repro.PathLCLTable()
-	if err != nil {
-		return err
-	}
-	emit(pt)
-	sv, err := repro.SurvivorCounts([]int{60, 90}, []int{5, 10, 20, 40, 60}, 1)
-	if err != nil {
-		return err
-	}
-	emit(sv)
+	fmt.Println(tb.Format())
 	return nil
 }

@@ -26,31 +26,33 @@ import (
 
 func main() {
 	var (
-		alg   = flag.String("alg", "3coloring", "3coloring | 2coloring | hier25 | hier35 | weighted25 | weighted35")
-		n     = flag.Int("n", 10000, "instance size (target)")
-		k     = flag.Int("k", 2, "hierarchy depth")
-		delta = flag.Int("delta", 5, "maximum degree Δ")
-		d     = flag.Int("d", 2, "decline budget d")
-		scale = flag.Int("scale", 16, "log*-regime scale parameter T")
-		seed  = flag.Uint64("seed", 1, "ID seed")
+		alg      = flag.String("alg", "3coloring", "3coloring | 2coloring | hier25 | hier35 | weighted25 | weighted35")
+		n        = flag.Int("n", 10000, "instance size (target)")
+		k        = flag.Int("k", 2, "hierarchy depth")
+		delta    = flag.Int("delta", 5, "maximum degree Δ")
+		d        = flag.Int("d", 2, "decline budget d")
+		scale    = flag.Int("scale", 16, "log*-regime scale parameter T")
+		seed     = flag.Uint64("seed", 1, "ID seed")
+		parallel = flag.Int("parallel", 1, "simulator worker count (-1 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	if err := run(*alg, *n, *k, *delta, *d, *scale, *seed); err != nil {
+	if err := run(*alg, *n, *k, *delta, *d, *scale, *seed, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "lclsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(alg string, n, k, delta, d, scale int, seed uint64) error {
+func run(alg string, n, k, delta, d, scale int, seed uint64, parallel int) error {
 	switch alg {
 	case "3coloring":
 		tr, err := graph.BuildPath(n)
 		if err != nil {
 			return err
 		}
-		res, err := sim.Run(tr, coloring.LinialAlgorithm{Delta: 2}, sim.Config{
-			IDs: sim.DefaultIDs(n, seed),
-		})
+		res, err := sim.NewEngine(
+			sim.WithIDs(sim.DefaultIDs(n, seed)),
+			sim.WithParallelism(parallel),
+		).Run(tr, coloring.LinialAlgorithm{Delta: 2})
 		if err != nil {
 			return err
 		}
@@ -60,9 +62,10 @@ func run(alg string, n, k, delta, d, scale int, seed uint64) error {
 		if err != nil {
 			return err
 		}
-		res, err := sim.Run(tr, coloring.TwoColorPathAlgorithm{}, sim.Config{
-			IDs: sim.DefaultIDs(n, seed),
-		})
+		res, err := sim.NewEngine(
+			sim.WithIDs(sim.DefaultIDs(n, seed)),
+			sim.WithParallelism(parallel),
+		).Run(tr, coloring.TwoColorPathAlgorithm{})
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,47 @@
+// Registry: discover and run experiments through the registry API instead
+// of hand-wired drivers — list what is registered, run one experiment at the
+// quick preset with a parallel simulator backend, and print its JSON-native
+// result (the same schema cmd/experiments -json emits).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "registry:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("registered experiments:")
+	for _, e := range repro.Experiments() {
+		fmt.Printf("  %-18s %s\n", e.Name, e.Theory)
+	}
+
+	// Runs honor contexts: a deadline or Ctrl-C cancels between sweep points
+	// and mid-simulation.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	res, err := repro.RunExperiment(ctx, "twocoloring-gap", repro.RunConfig{
+		Preset:      "quick",
+		Parallelism: -1, // GOMAXPROCS simulator workers; results identical to sequential
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%s finished in %.1f ms; fitted exponent %.3f (theory %.0f)\n\n",
+		res.Name, res.ElapsedMS, res.Fit.Slope, res.Fit.TheorySlope)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

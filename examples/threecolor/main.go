@@ -28,8 +28,14 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		ids := sim.DefaultIDs(n, uint64(n))
-		three, err := sim.Run(tr, coloring.LinialAlgorithm{Delta: 2}, sim.Config{IDs: ids})
+		// One engine per instance size, shared by both algorithms; the
+		// parallel backend produces bit-identical results to a sequential
+		// run.
+		eng := sim.NewEngine(
+			sim.WithIDs(sim.DefaultIDs(n, uint64(n))),
+			sim.WithParallelism(-1), // GOMAXPROCS workers
+		)
+		three, err := eng.Run(tr, coloring.LinialAlgorithm{Delta: 2})
 		if err != nil {
 			return err
 		}
@@ -40,7 +46,7 @@ func run() error {
 		if ok, u, v := coloring.VerifyProperColoring(tr, colors); !ok {
 			return fmt.Errorf("improper coloring at edge {%d,%d}", u, v)
 		}
-		two, err := sim.Run(tr, coloring.TwoColorPathAlgorithm{}, sim.Config{IDs: ids})
+		two, err := eng.Run(tr, coloring.TwoColorPathAlgorithm{})
 		if err != nil {
 			return err
 		}

@@ -1,55 +1,13 @@
 package core
 
 import (
-	"fmt"
+	"context"
 
-	"repro/internal/graph"
-	"repro/internal/hierarchy"
+	"repro/internal/exp"
 	"repro/internal/measure"
-	"repro/internal/sim"
 )
 
-// SurvivorCounts runs experiment E-GEN (Lemma 13): after phase i of the
-// generic algorithm with parameter γ_i, at most O(n'/γ_i) nodes of level
-// > i remain undecided. The driver runs the k=2 generic 3½ algorithm on the
-// lower-bound graph for a range of γ values and reports the survivor count
-// next to the charging bound from the lemma's proof (each surviving node
-// accounts for γ/2 terminated level-1 nodes, so survivors <= c·n/γ).
+// SurvivorCounts runs experiment E-GEN (Lemma 13); see exp.SurvivorCounts.
 func SurvivorCounts(lengths []int, gammas []int, seed uint64) (measure.Table, error) {
-	tb := measure.Table{
-		Title:  "E-GEN: Lemma 13 survivor counts after phase 1 (k=2, 3½)",
-		Header: []string{"γ1", "n", "survivors", "bound c·n/γ (c=8)"},
-	}
-	h, err := graph.BuildHierarchical(lengths)
-	if err != nil {
-		return tb, err
-	}
-	levels := graph.ComputeLevels(h.Tree, 2)
-	ids := sim.DefaultIDs(h.Tree.N(), seed)
-	for _, gamma := range gammas {
-		sched, err := hierarchy.NewSchedule(hierarchy.Params{
-			Problem: hierarchy.Problem{K: 2, Variant: hierarchy.Coloring35},
-			Gammas:  []int{gamma},
-		})
-		if err != nil {
-			return tb, err
-		}
-		ex, err := hierarchy.RunAnalytic(h.Tree, levels, sched, ids)
-		if err != nil {
-			return tb, err
-		}
-		survivors := 0
-		for v := range ex.Rounds {
-			if ex.Rounds[v] >= sched.Start(2) {
-				survivors++
-			}
-		}
-		bound := 8 * h.Tree.N() / gamma
-		if survivors > bound {
-			return tb, fmt.Errorf("core: Lemma 13 violated: %d survivors > %d at γ=%d",
-				survivors, bound, gamma)
-		}
-		tb.AddRow(gamma, h.Tree.N(), survivors, bound)
-	}
-	return tb, nil
+	return exp.SurvivorCounts(context.Background(), lengths, gammas, seed)
 }

@@ -1,0 +1,493 @@
+package exp
+
+// The sweep drivers regenerating every table and figure of the paper. They
+// were moved here from internal/core (which keeps thin wrappers for legacy
+// callers); each driver honors ctx between sweep points and returns the raw
+// SweepResult consumed by both the legacy API and the registered
+// experiments.
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/coloring"
+	"repro/internal/dfree"
+	"repro/internal/graph"
+	"repro/internal/hierarchy"
+	"repro/internal/labeling"
+	"repro/internal/landscape"
+	"repro/internal/measure"
+	"repro/internal/pathlcl"
+	"repro/internal/sim"
+	"repro/internal/weighted"
+)
+
+// SweepResult is the raw outcome of one scaling experiment: the formatted
+// table, the fitted exponent, and the paper's exponent(s).
+type SweepResult struct {
+	Table       measure.Table
+	Slope       float64 // fitted exponent
+	TheorySlope float64 // paper's exponent
+	// TheoryUpper is the upper-bound exponent where the paper leaves a gap
+	// (Theorems 4-5); equal to TheorySlope otherwise.
+	TheoryUpper float64
+	Points      []measure.Point
+}
+
+// finish annotates the table with fit-vs-theory.
+func (r *SweepResult) finish(title string, xName string) {
+	r.Table.Title = title
+	r.Slope, _ = measure.FitLogLog(r.Points)
+	r.Table.AddRow("fitted exponent vs "+xName, r.Slope, "", "")
+	r.Table.AddRow("theory exponent", r.TheorySlope, "", "")
+	if r.TheoryUpper != r.TheorySlope {
+		r.Table.AddRow("theory upper exponent", r.TheoryUpper, "", "")
+	}
+}
+
+// sweepStep is the per-point cancellation check shared by every driver.
+func sweepStep(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("exp: sweep canceled: %w", err)
+	}
+	return nil
+}
+
+// Hierarchical35 runs experiment E-T11 (Theorem 11): the generic algorithm
+// for k-hierarchical 3½-coloring on the Definition-18 lower-bound graph with
+// ℓ_i = T^{2^{i-1}}, swept over the scale T (the stand-in for
+// t = (log* n)^{1/(2^k−1)}; see substitution 5 in DESIGN.md). The measured
+// node-averaged complexity must scale like Θ(T), i.e. slope 1 in T.
+func Hierarchical35(ctx context.Context, k int, scales []int, seed uint64) (*SweepResult, error) {
+	res := &SweepResult{TheorySlope: 1, TheoryUpper: 1}
+	res.Table.Header = []string{"T", "n", "node-avg rounds", "node-avg / T"}
+	for _, T := range scales {
+		if err := sweepStep(ctx); err != nil {
+			return nil, err
+		}
+		lengths := make([]int, k)
+		gammas := make([]int, k-1)
+		for i := 1; i <= k; i++ {
+			lengths[i-1] = ipow(T, 1<<uint(i-1))
+		}
+		for i := 1; i < k; i++ {
+			gammas[i-1] = ipow(T, 1<<uint(i-1))
+		}
+		h, err := graph.BuildHierarchical(lengths)
+		if err != nil {
+			return nil, err
+		}
+		sched, err := hierarchy.NewSchedule(hierarchy.Params{
+			Problem: hierarchy.Problem{K: k, Variant: hierarchy.Coloring35},
+			Gammas:  gammas,
+		})
+		if err != nil {
+			return nil, err
+		}
+		levels := graph.ComputeLevels(h.Tree, k)
+		ids := sim.DefaultIDs(h.Tree.N(), seed+uint64(T))
+		ex, err := hierarchy.RunAnalytic(h.Tree, levels, sched, ids)
+		if err != nil {
+			return nil, err
+		}
+		if err := (hierarchy.Problem{K: k, Variant: hierarchy.Coloring35}).Verify(h.Tree, levels, ex.Out); err != nil {
+			return nil, fmt.Errorf("T=%d: %w", T, err)
+		}
+		avg := ex.NodeAveraged()
+		res.Points = append(res.Points, measure.Point{X: float64(T), Y: avg})
+		res.Table.AddRow(T, h.Tree.N(), avg, avg/float64(T))
+	}
+	res.finish(fmt.Sprintf("E-T11: k=%d hierarchical 3½-coloring, node-avg ~ Θ(T)", k), "T")
+	return res, nil
+}
+
+// Weighted25 runs experiment E-T2T3 (Theorems 2-3): A_poly on the
+// Definition-25 construction, swept over n; slope vs n must match
+// α1(x) = 1/Σ_{j<k}(2−x)^j.
+func Weighted25(ctx context.Context, delta, d, k int, sizes []int, seed uint64) (*SweepResult, error) {
+	p := weighted.Problem{Variant: hierarchy.Coloring25, Delta: delta, D: d, K: k}
+	x, err := landscape.EfficiencyX(delta, d)
+	if err != nil {
+		return nil, err
+	}
+	alpha1, err := landscape.Alpha1Poly(x, k)
+	if err != nil {
+		return nil, err
+	}
+	alphas, err := landscape.Alphas(landscape.RegimePolynomial, x, k)
+	if err != nil {
+		return nil, err
+	}
+	res := &SweepResult{TheorySlope: alpha1, TheoryUpper: alpha1}
+	res.Table.Header = []string{"n (target)", "node-avg rounds", "waiting node-avg", "waiting / n^α1"}
+	for _, target := range sizes {
+		if err := sweepStep(ctx); err != nil {
+			return nil, err
+		}
+		lengths, err := polyLengths(target, k, alphas)
+		if err != nil {
+			return nil, err
+		}
+		inst, err := weighted.BuildInstance(p, lengths, target/k)
+		if err != nil {
+			return nil, err
+		}
+		ids := sim.DefaultIDs(inst.Tree.N(), seed+uint64(target))
+		sol, err := weighted.SolvePoly(inst.Tree, inst.Inputs, p, ids)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Verify(inst.Tree, inst.Inputs, sol.Out); err != nil {
+			return nil, fmt.Errorf("n=%d: %w", target, err)
+		}
+		n := float64(inst.Tree.N())
+		avg := sol.NodeAveraged()
+		// Theorem 2's accounting: weight nodes that output Connect or
+		// Decline cost only the O(log n) ball collection and are excluded
+		// from the leading term ("their contribution does not exceed the
+		// targeted node-averaged complexity"). The waiting average isolates
+		// the Θ(n^α1) term, which numerically dominates only for n >> 10^9.
+		var waitSum int64
+		for v, o := range sol.Out {
+			if o.Kind == weighted.KindActive || o.Kind == weighted.KindCopy {
+				waitSum += int64(sol.Rounds[v])
+			}
+		}
+		waiting := float64(waitSum) / n
+		res.Points = append(res.Points, measure.Point{X: n, Y: waiting})
+		res.Table.AddRow(target, avg, waiting, waiting/math.Pow(n, alpha1))
+	}
+	res.finish(fmt.Sprintf("E-T2T3: Π^2.5_{Δ=%d,d=%d,k=%d}, node-avg ~ Θ(n^%.4f)", delta, d, k, alpha1), "n")
+	return res, nil
+}
+
+// polyLengths derives the Definition-25 path lengths ℓ_i = (n')^{α_i} for
+// i < k and ℓ_k = n' / Π ℓ_i (with n' = n/k).
+func polyLengths(target, k int, alphas []float64) ([]int, error) {
+	nPrime := float64(target) / float64(k)
+	lengths := make([]int, k)
+	prod := 1
+	for i := 0; i < k-1; i++ {
+		l := int(math.Pow(nPrime, alphas[i]))
+		if l < 2 {
+			l = 2
+		}
+		lengths[i] = l
+		prod *= l
+	}
+	last := int(nPrime) / prod
+	if last < 2 {
+		last = 2
+	}
+	lengths[k-1] = last
+	return lengths, nil
+}
+
+// Weighted35 runs experiment E-T4T5 (Theorems 4-5): the Section 8.2
+// algorithm for Π^{3.5}_{Δ,d,k} swept over the scale T (the log* n stand-in);
+// the fitted slope must land between α1(x) (lower bound) and α1(x′)
+// (upper bound).
+func Weighted35(ctx context.Context, delta, d, k int, scales []int, weightFactor int, seed uint64) (*SweepResult, error) {
+	p := weighted.Problem{Variant: hierarchy.Coloring35, Delta: delta, D: d, K: k}
+	x, err := landscape.EfficiencyX(delta, d)
+	if err != nil {
+		return nil, err
+	}
+	xPrime, err := landscape.EfficiencyXPrime(delta, d)
+	if err != nil {
+		return nil, err
+	}
+	if xPrime > 1 {
+		xPrime = 1
+	}
+	lower, err := landscape.Alpha1LogStar(x, k)
+	if err != nil {
+		return nil, err
+	}
+	upper, err := landscape.Alpha1LogStar(xPrime, k)
+	if err != nil {
+		return nil, err
+	}
+	alphas, err := landscape.Alphas(landscape.RegimeLogStar, xPrime, k)
+	if err != nil {
+		return nil, err
+	}
+	res := &SweepResult{TheorySlope: lower, TheoryUpper: upper}
+	res.Table.Header = []string{"T", "n", "node-avg rounds", "node-avg / T^α1(x')"}
+	for _, T := range scales {
+		if err := sweepStep(ctx); err != nil {
+			return nil, err
+		}
+		lengths := make([]int, k)
+		for i := 0; i < k-1; i++ {
+			lengths[i] = maxi(2, int(math.Pow(float64(T), alphas[i])))
+		}
+		// ℓ_k on the recurrence scale (the paper ties ℓ_k to n and log* n;
+		// in the sweep the level-k contribution is dominated — DESIGN.md,
+		// substitution 5).
+		lengths[k-1] = maxi(4, int(math.Pow(float64(T), alphas[k-2]*(2-xPrime))))
+		total := graph.HierarchicalSize(lengths) * weightFactor
+		inst, err := weighted.BuildInstance(p, lengths, total/k)
+		if err != nil {
+			return nil, err
+		}
+		ids := sim.DefaultIDs(inst.Tree.N(), seed+uint64(T))
+		sol, err := weighted.SolveLogStar(inst.Tree, inst.Inputs, p, ids, T)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Verify(inst.Tree, inst.Inputs, sol.Out); err != nil {
+			return nil, fmt.Errorf("T=%d: %w", T, err)
+		}
+		avg := sol.NodeAveraged()
+		res.Points = append(res.Points, measure.Point{X: float64(T), Y: avg})
+		res.Table.AddRow(T, inst.Tree.N(), avg, avg/math.Pow(float64(T), upper))
+	}
+	res.finish(fmt.Sprintf("E-T4T5: Π^3.5_{Δ=%d,d=%d,k=%d}, slope in [α1(x)=%.4f, α1(x')=%.4f]",
+		delta, d, k, lower, upper), "T")
+	return res, nil
+}
+
+// WeightAugmented runs experiment E-L68 (Lemmas 68-69): the weight-augmented
+// 2½-coloring with node-averaged complexity Θ(n^{1/k}).
+func WeightAugmented(ctx context.Context, k, delta int, sizes []int, seed uint64) (*SweepResult, error) {
+	res := &SweepResult{TheorySlope: 1 / float64(k), TheoryUpper: 1 / float64(k)}
+	res.Table.Header = []string{"n (target)", "n (built)", "node-avg rounds", "node-avg / n^(1/k)"}
+	for _, target := range sizes {
+		if err := sweepStep(ctx); err != nil {
+			return nil, err
+		}
+		side := maxi(2, int(math.Pow(float64(target)/float64(k), 1/float64(k))))
+		lengths := make([]int, k)
+		for i := range lengths {
+			lengths[i] = side
+		}
+		inst, err := labeling.BuildAugInstance(k, delta, lengths, target/k)
+		if err != nil {
+			return nil, err
+		}
+		ids := sim.DefaultIDs(inst.Tree.N(), seed+uint64(target))
+		sol, err := labeling.SolveAug(inst.Tree, inst.Weight, k, ids)
+		if err != nil {
+			return nil, err
+		}
+		if err := labeling.VerifyAug(inst.Tree, inst.Weight, k, sol.Out); err != nil {
+			return nil, fmt.Errorf("n=%d: %w", target, err)
+		}
+		n := float64(inst.Tree.N())
+		avg := sol.NodeAveraged()
+		res.Points = append(res.Points, measure.Point{X: n, Y: avg})
+		res.Table.AddRow(target, inst.Tree.N(), avg, avg/math.Pow(n, 1/float64(k)))
+	}
+	res.finish(fmt.Sprintf("E-L68: weight-augmented 2½ (k=%d), node-avg ~ Θ(n^{1/%d})", k, k), "n")
+	return res, nil
+}
+
+// TwoColoringGap runs experiment E-C60 (Corollary 60): 2-coloring a path has
+// node-averaged complexity Θ(n) (slope 1), witnessing the ω(√n)–o(n) gap.
+// This one runs through the real message-passing simulator; parallelism sets
+// the engine's worker count (the result is identical at every level).
+func TwoColoringGap(ctx context.Context, sizes []int, seed uint64, parallelism int) (*SweepResult, error) {
+	res := &SweepResult{TheorySlope: 1, TheoryUpper: 1}
+	res.Table.Header = []string{"n", "node-avg rounds", "node-avg / n", ""}
+	for _, n := range sizes {
+		if err := sweepStep(ctx); err != nil {
+			return nil, err
+		}
+		tr, err := graph.BuildPath(n)
+		if err != nil {
+			return nil, err
+		}
+		r, err := sim.NewEngine(
+			sim.WithIDs(sim.DefaultIDs(n, seed+uint64(n))),
+			sim.WithContext(ctx),
+			sim.WithParallelism(parallelism),
+		).Run(tr, coloring.TwoColorPathAlgorithm{})
+		if err != nil {
+			return nil, err
+		}
+		avg := r.NodeAveraged()
+		res.Points = append(res.Points, measure.Point{X: float64(n), Y: avg})
+		res.Table.AddRow(n, avg, avg/float64(n), "")
+	}
+	res.finish("E-C60: 2-coloring a path, node-avg ~ Θ(n)", "n")
+	return res, nil
+}
+
+// CopyFraction runs experiment E-L40 (Lemma 40): the Copy-set size of
+// Algorithm 𝒜 on a balanced Δ-regular weight tree scales like w^x with
+// x = log(Δ−1−d)/log(Δ−1).
+func CopyFraction(ctx context.Context, delta, d int, sizes []int) (*SweepResult, error) {
+	x, err := landscape.EfficiencyX(delta, d)
+	if err != nil {
+		return nil, err
+	}
+	res := &SweepResult{TheorySlope: x, TheoryUpper: x}
+	res.Table.Header = []string{"w", "copies", "copies / w^x", "bound 6·w^x"}
+	for _, w := range sizes {
+		if err := sweepStep(ctx); err != nil {
+			return nil, err
+		}
+		tr, err := graph.BuildBalanced(delta, w)
+		if err != nil {
+			return nil, err
+		}
+		inputs := make([]dfree.Input, w)
+		inputs[0] = dfree.InputA
+		sol, err := dfree.Solve(tr, inputs, d)
+		if err != nil {
+			return nil, err
+		}
+		if err := dfree.Verify(tr, inputs, d, sol.Out); err != nil {
+			return nil, err
+		}
+		copies := 0
+		for _, o := range sol.Out {
+			if o == dfree.OutCopy {
+				copies++
+			}
+		}
+		wx := math.Pow(float64(w), x)
+		res.Points = append(res.Points, measure.Point{X: float64(w), Y: float64(copies)})
+		res.Table.AddRow(w, copies, float64(copies)/wx, 6*wx)
+	}
+	res.finish(fmt.Sprintf("E-L40: Copy-set of Algorithm 𝒜 (Δ=%d, d=%d), size ~ w^%.4f", delta, d, x), "w")
+	return res, nil
+}
+
+// DensityPoly runs experiment E-T1 (Theorem 1): for a list of target
+// intervals, find (Δ, d, k) with achievable exponent inside.
+func DensityPoly(ctx context.Context, intervals [][2]float64) (measure.Table, error) {
+	tb := measure.Table{
+		Title:  "E-T1: density of Θ(n^c) classes (Theorem 1 / Lemma 58)",
+		Header: []string{"target interval", "Δ", "d", "k", "x = a/b", "exponent c"},
+	}
+	for _, iv := range intervals {
+		if err := sweepStep(ctx); err != nil {
+			return tb, err
+		}
+		p, err := landscape.FindPolyParams(iv[0], iv[1])
+		if err != nil {
+			return tb, err
+		}
+		tb.AddRow(fmt.Sprintf("[%.3f, %.3f]", iv[0], iv[1]), p.Delta, p.D, p.K, p.X.String(), p.C)
+	}
+	return tb, nil
+}
+
+// DensityLogStar runs experiment E-T6 (Theorem 6).
+func DensityLogStar(ctx context.Context, intervals [][2]float64, eps float64) (measure.Table, error) {
+	tb := measure.Table{
+		Title:  fmt.Sprintf("E-T6: density of (log* n)^c classes (Theorem 6, ε=%.3f)", eps),
+		Header: []string{"target interval", "Δ", "d", "k", "c (lower)", "c+ε bound (upper)"},
+	}
+	for _, iv := range intervals {
+		if err := sweepStep(ctx); err != nil {
+			return tb, err
+		}
+		p, err := landscape.FindLogStarParams(iv[0], iv[1], eps)
+		if err != nil {
+			return tb, err
+		}
+		tb.AddRow(fmt.Sprintf("[%.3f, %.3f]", iv[0], iv[1]), p.Delta, p.D, p.K, p.C, p.CUpper)
+	}
+	return tb, nil
+}
+
+// PathLCLTable runs experiment E-T7: the decision procedure on the
+// catalogue of path LCLs.
+func PathLCLTable() (measure.Table, error) {
+	tb := measure.Table{
+		Title:  "E-T7: path-LCL classification (decidability demonstration)",
+		Header: []string{"problem", "worst-case class", "node-avg class (Lemma 16)", ""},
+	}
+	for _, p := range pathlcl.Catalogue() {
+		class, err := pathlcl.Classify(p)
+		if err != nil {
+			return tb, err
+		}
+		tb.AddRow(p.Name, class.String(), class.String(), "")
+	}
+	return tb, nil
+}
+
+// LandscapeFigures renders Figures 1 and 2 as tables.
+func LandscapeFigures() (measure.Table, measure.Table) {
+	render := func(title string, entries []landscape.Entry) measure.Table {
+		tb := measure.Table{Title: title, Header: []string{"region", "status", "source", "new"}}
+		for _, e := range entries {
+			isNew := ""
+			if e.New {
+				isNew = "*"
+			}
+			tb.AddRow(e.Region, e.Status, e.Source, isNew)
+		}
+		return tb
+	}
+	return render("Figure 1: landscape before this paper", landscape.Figure1()),
+		render("Figure 2: landscape after this paper", landscape.Figure2())
+}
+
+// SurvivorCounts runs experiment E-GEN (Lemma 13): after phase i of the
+// generic algorithm with parameter γ_i, at most O(n'/γ_i) nodes of level
+// > i remain undecided. The driver runs the k=2 generic 3½ algorithm on the
+// lower-bound graph for a range of γ values and reports the survivor count
+// next to the charging bound from the lemma's proof (each surviving node
+// accounts for γ/2 terminated level-1 nodes, so survivors <= c·n/γ).
+func SurvivorCounts(ctx context.Context, lengths []int, gammas []int, seed uint64) (measure.Table, error) {
+	tb := measure.Table{
+		Title:  "E-GEN: Lemma 13 survivor counts after phase 1 (k=2, 3½)",
+		Header: []string{"γ1", "n", "survivors", "bound c·n/γ (c=8)"},
+	}
+	h, err := graph.BuildHierarchical(lengths)
+	if err != nil {
+		return tb, err
+	}
+	levels := graph.ComputeLevels(h.Tree, 2)
+	ids := sim.DefaultIDs(h.Tree.N(), seed)
+	for _, gamma := range gammas {
+		if err := sweepStep(ctx); err != nil {
+			return tb, err
+		}
+		sched, err := hierarchy.NewSchedule(hierarchy.Params{
+			Problem: hierarchy.Problem{K: 2, Variant: hierarchy.Coloring35},
+			Gammas:  []int{gamma},
+		})
+		if err != nil {
+			return tb, err
+		}
+		ex, err := hierarchy.RunAnalytic(h.Tree, levels, sched, ids)
+		if err != nil {
+			return tb, err
+		}
+		survivors := 0
+		for v := range ex.Rounds {
+			if ex.Rounds[v] >= sched.Start(2) {
+				survivors++
+			}
+		}
+		bound := 8 * h.Tree.N() / gamma
+		if survivors > bound {
+			return tb, fmt.Errorf("exp: Lemma 13 violated: %d survivors > %d at γ=%d",
+				survivors, bound, gamma)
+		}
+		tb.AddRow(gamma, h.Tree.N(), survivors, bound)
+	}
+	return tb, nil
+}
+
+func ipow(base, exp int) int {
+	out := 1
+	for i := 0; i < exp; i++ {
+		out *= base
+	}
+	return out
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

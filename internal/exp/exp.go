@@ -1,0 +1,187 @@
+// Package exp is the experiment registry and execution API.
+//
+// Every result-regenerating computation of the reproduction — the scaling
+// sweeps behind Theorems 2-5 and 11, the density searches of Theorems 1 and
+// 6, the landscape figures, the path-LCL classifier — is a registered
+// Experiment: a named value with presets (quick/standard/stress sweeps) and
+// a context-aware Run function returning a JSON-native Result. Callers
+// discover experiments with List/Lookup instead of hard-wiring drivers, so
+// adding a scenario is one Register call rather than edits across three
+// files.
+//
+// The sweep drivers themselves also live here (drivers.go); the former
+// driver package internal/core remains as thin legacy wrappers around them.
+package exp
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/measure"
+)
+
+// Preset names every experiment understands.
+const (
+	PresetQuick    = "quick"
+	PresetStandard = "standard"
+	PresetStress   = "stress"
+)
+
+// RunConfig parameterizes one execution of an experiment.
+type RunConfig struct {
+	// Preset selects one of the experiment's sweeps (quick/standard/stress);
+	// empty means standard.
+	Preset string
+	// Sizes overrides the preset's sweep values (the meaning — n, T, w, or γ
+	// — is per experiment). Ignored by experiments without a sweep axis.
+	Sizes []int
+	// Seed overrides the experiment's default ID seed; 0 keeps the default.
+	Seed uint64
+	// Parallelism is the simulator worker count for simulator-backed
+	// experiments (0 or 1 = sequential, < 0 = GOMAXPROCS). Analytic
+	// experiments ignore it; results are identical at every level either
+	// way.
+	Parallelism int
+}
+
+// Experiment is one registered, runnable scenario.
+type Experiment struct {
+	// Name is the unique registry key (kebab-case).
+	Name string
+	// Description says what the experiment measures.
+	Description string
+	// Theory cites the theorem/lemma/figure of the paper it regenerates.
+	Theory string
+	// Presets maps preset names to sweep values. Nil for experiments without
+	// a sweep axis (their Run ignores sizes).
+	Presets map[string][]int
+	// DefaultSeed is used when RunConfig.Seed is 0.
+	DefaultSeed uint64
+	// Run executes the experiment. Implementations honor ctx between sweep
+	// points and return an error wrapping ctx.Err() on cancellation.
+	Run func(ctx context.Context, cfg RunConfig) (*Result, error)
+}
+
+// Result is the JSON-native outcome of one experiment run.
+type Result struct {
+	Name        string          `json:"name"`
+	Theory      string          `json:"theory,omitempty"`
+	Preset      string          `json:"preset,omitempty"`
+	Sizes       []int           `json:"sizes,omitempty"`
+	Seed        uint64          `json:"seed,omitempty"`
+	Parallelism int             `json:"parallelism,omitempty"`
+	ElapsedMS   float64         `json:"elapsed_ms"`
+	Tables      []measure.Table `json:"tables"`
+	Fit         *Fit            `json:"fit,omitempty"`
+}
+
+// Fit is the fitted-versus-theory exponent comparison of a scaling sweep.
+type Fit struct {
+	Slope       float64 `json:"slope"`
+	TheorySlope float64 `json:"theory_slope"`
+	// TheoryUpper is the upper-bound exponent where the paper leaves a gap
+	// (Theorems 4-5); equal to TheorySlope otherwise.
+	TheoryUpper float64         `json:"theory_upper,omitempty"`
+	Points      []measure.Point `json:"points,omitempty"`
+}
+
+// sizesFor resolves the sweep for cfg against the experiment's presets.
+func (e *Experiment) sizesFor(cfg RunConfig) ([]int, string, error) {
+	preset := cfg.Preset
+	if preset == "" {
+		preset = PresetStandard
+	}
+	if cfg.Sizes != nil {
+		return cfg.Sizes, preset, nil
+	}
+	if e.Presets == nil {
+		return nil, preset, nil
+	}
+	sizes, ok := e.Presets[preset]
+	if !ok {
+		return nil, preset, fmt.Errorf("exp: experiment %q has no preset %q", e.Name, preset)
+	}
+	return sizes, preset, nil
+}
+
+// seedFor resolves the ID seed for cfg.
+func (e *Experiment) seedFor(cfg RunConfig) uint64 {
+	if cfg.Seed != 0 {
+		return cfg.Seed
+	}
+	return e.DefaultSeed
+}
+
+// newResult stamps the shared metadata of a run outcome.
+func (e *Experiment) newResult(cfg RunConfig, preset string, sizes []int, started time.Time) *Result {
+	return &Result{
+		Name:        e.Name,
+		Theory:      e.Theory,
+		Preset:      preset,
+		Sizes:       sizes,
+		Seed:        e.seedFor(cfg),
+		Parallelism: cfg.Parallelism,
+		ElapsedMS:   float64(time.Since(started).Microseconds()) / 1000,
+	}
+}
+
+// sweepExperiment wraps a scaling-sweep driver as a registered Experiment.
+func sweepExperiment(name, description, theory string, presets map[string][]int, seed uint64,
+	driver func(ctx context.Context, sizes []int, seed uint64, parallelism int) (*SweepResult, error)) *Experiment {
+	e := &Experiment{
+		Name:        name,
+		Description: description,
+		Theory:      theory,
+		Presets:     presets,
+		DefaultSeed: seed,
+	}
+	e.Run = func(ctx context.Context, cfg RunConfig) (*Result, error) {
+		sizes, preset, err := e.sizesFor(cfg)
+		if err != nil {
+			return nil, err
+		}
+		started := time.Now()
+		sr, err := driver(ctx, sizes, e.seedFor(cfg), cfg.Parallelism)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", e.Name, err)
+		}
+		res := e.newResult(cfg, preset, sizes, started)
+		res.Tables = []measure.Table{sr.Table}
+		res.Fit = &Fit{
+			Slope:       sr.Slope,
+			TheorySlope: sr.TheorySlope,
+			TheoryUpper: sr.TheoryUpper,
+			Points:      sr.Points,
+		}
+		return res, nil
+	}
+	return e
+}
+
+// tableExperiment wraps a driver producing tables only (no fitted exponent).
+func tableExperiment(name, description, theory string, presets map[string][]int, seed uint64,
+	driver func(ctx context.Context, sizes []int, seed uint64) ([]measure.Table, error)) *Experiment {
+	e := &Experiment{
+		Name:        name,
+		Description: description,
+		Theory:      theory,
+		Presets:     presets,
+		DefaultSeed: seed,
+	}
+	e.Run = func(ctx context.Context, cfg RunConfig) (*Result, error) {
+		sizes, preset, err := e.sizesFor(cfg)
+		if err != nil {
+			return nil, err
+		}
+		started := time.Now()
+		tables, err := driver(ctx, sizes, e.seedFor(cfg))
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", e.Name, err)
+		}
+		res := e.newResult(cfg, preset, sizes, started)
+		res.Tables = tables
+		return res, nil
+	}
+	return e
+}

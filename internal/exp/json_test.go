@@ -1,0 +1,61 @@
+package exp
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// TestResultJSONSchema pins the documented JSON field names of the result
+// schema (README "JSON output schema").
+func TestResultJSONSchema(t *testing.T) {
+	e, ok := Lookup("twocoloring-gap")
+	if !ok {
+		t.Fatal("twocoloring-gap not registered")
+	}
+	res, err := e.Run(context.Background(), RunConfig{Preset: PresetQuick, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"name", "theory", "preset", "sizes", "seed",
+		"parallelism", "elapsed_ms", "tables", "fit"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("result JSON missing key %q", key)
+		}
+	}
+	tables, ok := m["tables"].([]any)
+	if !ok || len(tables) == 0 {
+		t.Fatal("tables not a non-empty array")
+	}
+	tb := tables[0].(map[string]any)
+	for _, key := range []string{"title", "header", "rows"} {
+		if _, ok := tb[key]; !ok {
+			t.Errorf("table JSON missing key %q", key)
+		}
+	}
+	fit, ok := m["fit"].(map[string]any)
+	if !ok {
+		t.Fatal("fit not an object")
+	}
+	for _, key := range []string{"slope", "theory_slope", "points"} {
+		if _, ok := fit[key]; !ok {
+			t.Errorf("fit JSON missing key %q", key)
+		}
+	}
+	// The decoded result must round-trip.
+	var back Result
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != res.Name || len(back.Tables) != len(res.Tables) {
+		t.Fatal("JSON round-trip lost data")
+	}
+}

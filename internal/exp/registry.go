@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrNotFound is the sentinel wrapped by ErrUnknownExperiment.
+var ErrNotFound = errors.New("experiment not registered")
+
+// ErrUnknownExperiment builds the canonical lookup-miss error for name.
+func ErrUnknownExperiment(name string) error {
+	return fmt.Errorf("exp: %q: %w", name, ErrNotFound)
+}
+
+// The global registry. Registration order is preserved so that "run
+// everything" reproduces the historical cmd/experiments output order.
+var registry = struct {
+	sync.RWMutex
+	byName map[string]*Experiment
+	order  []string
+}{byName: map[string]*Experiment{}}
+
+// Register adds an experiment to the registry. It rejects nil experiments,
+// empty names, missing Run functions, and duplicate names.
+func Register(e *Experiment) error {
+	if e == nil {
+		return fmt.Errorf("exp: Register(nil)")
+	}
+	if e.Name == "" {
+		return fmt.Errorf("exp: experiment with empty name")
+	}
+	if e.Run == nil {
+		return fmt.Errorf("exp: experiment %q has no Run function", e.Name)
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.byName[e.Name]; dup {
+		return fmt.Errorf("exp: experiment %q already registered", e.Name)
+	}
+	registry.byName[e.Name] = e
+	registry.order = append(registry.order, e.Name)
+	return nil
+}
+
+// MustRegister is Register that panics on error; for catalog init.
+func MustRegister(e *Experiment) {
+	if err := Register(e); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the experiment registered under name.
+func Lookup(name string) (*Experiment, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	e, ok := registry.byName[name]
+	return e, ok
+}
+
+// List returns every registered experiment in registration order.
+func List() []*Experiment {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]*Experiment, 0, len(registry.order))
+	for _, name := range registry.order {
+		out = append(out, registry.byName[name])
+	}
+	return out
+}
+
+// Names returns the registered names in registration order.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	return append([]string(nil), registry.order...)
+}

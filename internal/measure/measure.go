@@ -11,7 +11,8 @@ import (
 
 // Point is one measurement (X = instance scale, Y = measured quantity).
 type Point struct {
-	X, Y float64
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
 }
 
 // FitLogLog fits Y = c · X^slope by least squares on (ln X, ln Y) and
@@ -38,11 +39,12 @@ func FitLogLog(points []Point) (slope, c float64) {
 	return slope, c
 }
 
-// Table is a plain-text table.
+// Table is a plain-text table. The field tags make it the JSON table schema
+// of the experiment registry (internal/exp) as well.
 type Table struct {
-	Title  string
-	Header []string
-	Rows   [][]string
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
 }
 
 // AddRow appends a row built from arbitrary values.

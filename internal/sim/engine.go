@@ -1,0 +1,308 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Engine executes LOCAL algorithms. It is configured once via functional
+// options and can then run any number of (tree, algorithm) pairs; every run
+// with the same options, IDs, and inputs is deterministic, independent of the
+// parallelism level.
+//
+// The parallel backend steps the nodes of a single round across a worker
+// pool. The LOCAL model's synchronous-round barrier makes this
+// semantics-preserving: within a round, node v only reads its own inbox
+// (written during the previous round) and only writes the slots
+// next[u][port-back-to-v], which no other node writes. Rounds, outputs, and
+// message counts are therefore bit-identical between sequential and parallel
+// executions.
+type Engine struct {
+	ids         []uint64
+	inputs      []any
+	maxRounds   int
+	ctx         context.Context
+	parallelism int
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithIDs assigns the identifier of each node. If unset, DefaultIDs(n, 1) is
+// used.
+func WithIDs(ids []uint64) Option { return func(e *Engine) { e.ids = ids } }
+
+// WithInputs assigns each node's LCL input label (may be nil).
+func WithInputs(inputs []any) Option { return func(e *Engine) { e.inputs = inputs } }
+
+// WithMaxRounds aborts a run if some node has not terminated after this many
+// rounds; 0 means 4*n + 64 (a generous bound for linear-time algorithms).
+func WithMaxRounds(r int) Option { return func(e *Engine) { e.maxRounds = r } }
+
+// WithContext attaches a context checked at every round barrier; when it is
+// canceled the run returns promptly with an error wrapping ctx.Err().
+func WithContext(ctx context.Context) Option {
+	return func(e *Engine) {
+		if ctx != nil {
+			e.ctx = ctx
+		}
+	}
+}
+
+// WithParallelism sets the number of workers stepping nodes within a round.
+// 0 (the zero value) and 1 select the sequential backend; n < 0 selects
+// GOMAXPROCS workers.
+func WithParallelism(n int) Option { return func(e *Engine) { e.parallelism = n } }
+
+// NewEngine builds an engine from options. The zero configuration is a
+// sequential run with default IDs, no inputs, and the default round limit.
+func NewEngine(opts ...Option) *Engine {
+	e := &Engine{ctx: context.Background(), parallelism: 1}
+	for _, o := range opts {
+		if o != nil {
+			o(e)
+		}
+	}
+	return e
+}
+
+// Run executes alg on t under the engine's configuration.
+func (e *Engine) Run(t *graph.Tree, alg Algorithm) (*Result, error) {
+	n := t.N()
+	if n == 0 {
+		return nil, graph.ErrEmpty
+	}
+	ids := e.ids
+	if ids == nil {
+		ids = DefaultIDs(n, 1)
+	}
+	if len(ids) != n {
+		return nil, fmt.Errorf("sim: %d IDs for %d nodes", len(ids), n)
+	}
+	if e.inputs != nil && len(e.inputs) != n {
+		return nil, fmt.Errorf("sim: %d inputs for %d nodes", len(e.inputs), n)
+	}
+	maxRounds := e.maxRounds
+	if maxRounds == 0 {
+		maxRounds = 4*n + 64
+	}
+	workers := e.parallelism
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 { // the zero value is the sequential backend
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+
+	r := &run{
+		t:         t,
+		alg:       alg,
+		ctx:       e.ctx,
+		maxRounds: maxRounds,
+		workers:   workers,
+		machines:  make([]Machine, n),
+		done:      make([]bool, n),
+		frozen:    make([]any, n),
+		inbox:     make([][]any, n),
+		next:      make([][]any, n),
+		portOf:    reversePorts(t),
+		res: &Result{
+			Rounds:  make([]int, n),
+			Outputs: make([]any, n),
+		},
+	}
+	if workers > 1 {
+		r.stats = make([]rangeStats, workers)
+	}
+	for v := 0; v < n; v++ {
+		var input any
+		if e.inputs != nil {
+			input = e.inputs[v]
+		}
+		r.machines[v] = alg.NewMachine(NodeInfo{
+			ID:     ids[v],
+			Degree: t.Degree(v),
+			N:      n,
+			Input:  input,
+		})
+		r.inbox[v] = make([]any, t.Degree(v))
+		r.next[v] = make([]any, t.Degree(v))
+	}
+	return r.execute()
+}
+
+// rangeStats accumulates what one worker observed over its node range.
+type rangeStats struct {
+	fins int
+	msgs int64
+	err  error
+}
+
+// run is the mutable state of one execution.
+type run struct {
+	t         *graph.Tree
+	alg       Algorithm
+	ctx       context.Context
+	maxRounds int
+	workers   int
+
+	machines []Machine
+	done     []bool
+	// frozen[v] caches the boxed Terminated{Output} interface value created
+	// once when v terminates, so redelivering it every subsequent round is
+	// allocation-free.
+	frozen []any
+	inbox  [][]any
+	next   [][]any
+	portOf [][]int
+	res    *Result
+	stats  []rangeStats // per-worker, parallel backend only
+}
+
+func (r *run) execute() (*Result, error) {
+	remaining := len(r.machines)
+	// Bind the phase method values once: creating them inside the loop would
+	// allocate two closures per round.
+	step, redeliver := r.stepRange, r.redeliverRange
+	for round := 0; ; round++ {
+		if remaining == 0 {
+			r.res.TotalRounds = round
+			return r.res, nil
+		}
+		if round > r.maxRounds {
+			return nil, fmt.Errorf("%w: algorithm %q, n=%d, limit=%d",
+				ErrRoundLimit, r.alg.Name(), len(r.machines), r.maxRounds)
+		}
+		if err := r.ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sim: algorithm %q canceled at round %d: %w",
+				r.alg.Name(), round, err)
+		}
+		st := r.forEach(round, step)
+		if st.err != nil {
+			return nil, st.err
+		}
+		remaining -= st.fins
+		r.res.Messages += st.msgs
+		if st := r.forEach(round, redeliver); st.err != nil {
+			return nil, st.err
+		}
+		r.inbox, r.next = r.next, r.inbox
+	}
+}
+
+// forEach applies fn to [0, n) either inline (sequential backend) or split
+// into contiguous chunks across the worker pool, and merges the per-range
+// stats. Worker errors are merged lowest-range-first so the reported error is
+// deterministic.
+func (r *run) forEach(round int, fn func(round, lo, hi int) rangeStats) rangeStats {
+	n := len(r.machines)
+	if r.workers <= 1 {
+		return fn(round, 0, n)
+	}
+	chunk := (n + r.workers - 1) / r.workers
+	var wg sync.WaitGroup
+	used := 0
+	for w := 0; w < r.workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		used++
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			r.stats[w] = fn(round, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var total rangeStats
+	for w := 0; w < used; w++ {
+		total.fins += r.stats[w].fins
+		total.msgs += r.stats[w].msgs
+		if total.err == nil {
+			total.err = r.stats[w].err
+		}
+	}
+	return total
+}
+
+// stepRange runs one round for the undecided nodes in [lo, hi). It consumes
+// each node's inbox in place (clear-and-swap: the cleared buffer becomes the
+// node's receive buffer after the swap), so no separate clearing pass over
+// all ports is needed and steady-state rounds allocate nothing.
+func (r *run) stepRange(round, lo, hi int) rangeStats {
+	var st rangeStats
+	for v := lo; v < hi; v++ {
+		if r.done[v] {
+			continue
+		}
+		send, fin := r.machines[v].Step(round, r.inbox[v])
+		deg := r.t.Degree(v)
+		for p := 0; p < len(send) && p < deg; p++ {
+			if send[p] == nil {
+				continue
+			}
+			u := r.t.Neighbor(v, p)
+			r.next[u][r.portOf[v][p]] = send[p]
+			st.msgs++
+		}
+		// Clear only after the sends are copied out: a machine may return its
+		// recv slice as send.
+		clearAny(r.inbox[v])
+		if fin {
+			r.done[v] = true
+			st.fins++
+			r.res.Rounds[v] = round
+			out := r.machines[v].Output()
+			if out == nil {
+				st.err = fmt.Errorf("%w: algorithm %q node %d",
+					ErrNilOutput, r.alg.Name(), v)
+				return st
+			}
+			r.res.Outputs[v] = out
+			r.frozen[v] = Terminated{Output: out}
+			// From the next round on, neighbors observe the frozen output. A
+			// final message sent in the terminating round takes precedence.
+			for p := 0; p < deg; p++ {
+				u := r.t.Neighbor(v, p)
+				if slot := &r.next[u][r.portOf[v][p]]; *slot == nil {
+					*slot = r.frozen[v]
+				}
+			}
+		}
+	}
+	return st
+}
+
+// redeliverRange keeps the frozen output of every terminated node in [lo, hi)
+// visible to its still-active neighbors, at zero message cost and zero
+// allocation (the boxed Terminated value is cached in frozen[v]).
+func (r *run) redeliverRange(_, lo, hi int) rangeStats {
+	for v := lo; v < hi; v++ {
+		if !r.done[v] {
+			continue
+		}
+		fz := r.frozen[v]
+		for p := 0; p < r.t.Degree(v); p++ {
+			u := r.t.Neighbor(v, p)
+			if r.done[u] {
+				continue
+			}
+			if slot := &r.next[u][r.portOf[v][p]]; *slot == nil {
+				*slot = fz
+			}
+		}
+	}
+	return rangeStats{}
+}

@@ -19,7 +19,6 @@ package sim
 
 import (
 	"errors"
-	"fmt"
 
 	"repro/internal/graph"
 )
@@ -117,116 +116,15 @@ type Config struct {
 	MaxRounds int
 }
 
-// Run executes alg on t under cfg.
+// Run executes alg on t under cfg. It is the legacy entry point, kept for
+// existing callers; new code should configure an Engine via NewEngine and
+// functional options (WithContext, WithParallelism, ...).
 func Run(t *graph.Tree, alg Algorithm, cfg Config) (*Result, error) {
-	n := t.N()
-	if n == 0 {
-		return nil, graph.ErrEmpty
-	}
-	ids := cfg.IDs
-	if ids == nil {
-		ids = DefaultIDs(n, 1)
-	}
-	if len(ids) != n {
-		return nil, fmt.Errorf("sim: %d IDs for %d nodes", len(ids), n)
-	}
-	maxRounds := cfg.MaxRounds
-	if maxRounds == 0 {
-		maxRounds = 4*n + 64
-	}
-
-	machines := make([]Machine, n)
-	for v := 0; v < n; v++ {
-		var input any
-		if cfg.Inputs != nil {
-			input = cfg.Inputs[v]
-		}
-		machines[v] = alg.NewMachine(NodeInfo{
-			ID:     ids[v],
-			Degree: t.Degree(v),
-			N:      n,
-			Input:  input,
-		})
-	}
-
-	res := &Result{
-		Rounds:  make([]int, n),
-		Outputs: make([]any, n),
-	}
-	done := make([]bool, n)
-	remaining := n
-
-	// inbox[v][p] is the message node v receives on port p this round.
-	inbox := make([][]any, n)
-	next := make([][]any, n)
-	for v := 0; v < n; v++ {
-		inbox[v] = make([]any, t.Degree(v))
-		next[v] = make([]any, t.Degree(v))
-	}
-	// portOf[v][i] = the port on neighbor u = adj[v][i] that leads back to v.
-	portOf := reversePorts(t)
-
-	for round := 0; ; round++ {
-		if remaining == 0 {
-			res.TotalRounds = round
-			return res, nil
-		}
-		if round > maxRounds {
-			return nil, fmt.Errorf("%w: algorithm %q, n=%d, limit=%d",
-				ErrRoundLimit, alg.Name(), n, maxRounds)
-		}
-		for v := 0; v < n; v++ {
-			if done[v] {
-				continue
-			}
-			send, fin := machines[v].Step(round, inbox[v])
-			for p := 0; p < len(send) && p < t.Degree(v); p++ {
-				if send[p] == nil {
-					continue
-				}
-				u := t.Neighbor(v, p)
-				next[u][portOf[v][p]] = send[p]
-				res.Messages++
-			}
-			if fin {
-				done[v] = true
-				remaining--
-				res.Rounds[v] = round
-				out := machines[v].Output()
-				if out == nil {
-					return nil, fmt.Errorf("%w: algorithm %q node %d",
-						ErrNilOutput, alg.Name(), v)
-				}
-				res.Outputs[v] = out
-				// From the next round on, neighbors observe the frozen
-				// output. A final message sent in the terminating round
-				// still takes precedence.
-				for p := 0; p < t.Degree(v); p++ {
-					u := t.Neighbor(v, p)
-					if next[u][portOf[v][p]] == nil {
-						next[u][portOf[v][p]] = Terminated{Output: out}
-					}
-				}
-			}
-		}
-		// Terminated nodes keep their frozen output visible: re-deliver it
-		// every round at zero cost.
-		for v := 0; v < n; v++ {
-			if !done[v] {
-				continue
-			}
-			for p := 0; p < t.Degree(v); p++ {
-				u := t.Neighbor(v, p)
-				if !done[u] && next[u][portOf[v][p]] == nil {
-					next[u][portOf[v][p]] = Terminated{Output: res.Outputs[v]}
-				}
-			}
-		}
-		inbox, next = next, inbox
-		for v := 0; v < n; v++ {
-			clearAny(next[v])
-		}
-	}
+	return NewEngine(
+		WithIDs(cfg.IDs),
+		WithInputs(cfg.Inputs),
+		WithMaxRounds(cfg.MaxRounds),
+	).Run(t, alg)
 }
 
 func clearAny(xs []any) {

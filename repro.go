@@ -2,10 +2,30 @@
 // Complexity Landscape of LCLs on Trees" (Balliu, Brandt, Kuhn, Olivetti,
 // Schmid; PODC 2024, arXiv:2405.01366).
 //
-// The library provides:
+// # Architecture
 //
-//   - a synchronous LOCAL-model simulator with per-node termination rounds
-//     and node-averaged complexity accounting (internal/sim);
+// Execution is organized around two public APIs:
+//
+//   - The simulation engine (internal/sim): a synchronous LOCAL-model
+//     simulator configured via functional options — sim.NewEngine(
+//     sim.WithIDs(...), sim.WithInputs(...), sim.WithMaxRounds(...),
+//     sim.WithContext(ctx), sim.WithParallelism(n)).Run(tree, alg). The
+//     parallel backend steps the nodes of each round across a worker pool;
+//     the synchronous-round barrier makes this semantics-preserving, so
+//     sequential and parallel runs produce bit-identical rounds, outputs,
+//     and message counts. Runs honor context cancellation at every round.
+//
+//   - The experiment registry (internal/exp, re-exported here): every
+//     result-regenerating computation of the paper is a registered
+//     Experiment with quick/standard/stress presets and a context-aware Run
+//     returning a JSON-native Result. Discover them with Experiments or
+//     LookupExperiment and run them programmatically, or from the shell via
+//     cmd/experiments (-list, -run <name>, -preset, -json, -parallel).
+//
+// The substrate packages provide:
+//
+//   - the LOCAL-model engine with per-node termination rounds and
+//     node-averaged complexity accounting (internal/sim);
 //   - the k-hierarchical 2½/3½-coloring LCLs, their verifier, and the
 //     generic phase algorithm of Section 4.1 (internal/hierarchy);
 //   - the weighted problems Π^Z_{Δ,d,k} of Definition 22 with both
@@ -17,17 +37,19 @@
 //     density parameter searches behind Theorems 1 and 6
 //     (internal/landscape);
 //   - the Section-11 decidability machinery for path LCLs
-//     (internal/pathlcl);
-//   - experiment drivers regenerating every figure/theorem-shaped result of
-//     the paper (internal/core), exposed here and in cmd/experiments.
+//     (internal/pathlcl).
 //
-// This file re-exports the experiment drivers so that downstream users (and
-// the repository-level benchmarks in bench_test.go) have a stable entry
-// point without reaching into internal packages.
+// The context-free driver functions below (Hierarchical35, Weighted25, ...)
+// are the legacy entry points, kept stable for downstream users and the
+// repository-level benchmarks; each is a thin wrapper over the corresponding
+// registry driver.
 package repro
 
 import (
+	"context"
+
 	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/measure"
 )
 
@@ -37,6 +59,32 @@ type ExpResult = core.ExpResult
 
 // Table is a formatted result table.
 type Table = measure.Table
+
+// Experiment is a registered, runnable scenario; see the internal/exp
+// package documentation.
+type Experiment = exp.Experiment
+
+// RunConfig parameterizes one registry experiment run (preset, sweep
+// override, seed, simulator parallelism).
+type RunConfig = exp.RunConfig
+
+// RunResult is the JSON-native outcome of a registry experiment run.
+type RunResult = exp.Result
+
+// Experiments returns every registered experiment in registration order.
+func Experiments() []*Experiment { return exp.List() }
+
+// LookupExperiment returns the experiment registered under name.
+func LookupExperiment(name string) (*Experiment, bool) { return exp.Lookup(name) }
+
+// RunExperiment looks up name and runs it under cfg.
+func RunExperiment(ctx context.Context, name string, cfg RunConfig) (*RunResult, error) {
+	e, ok := exp.Lookup(name)
+	if !ok {
+		return nil, exp.ErrUnknownExperiment(name)
+	}
+	return e.Run(ctx, cfg)
+}
 
 // Hierarchical35 reproduces Theorem 11 (E-T11): node-averaged complexity of
 // k-hierarchical 3½-coloring is Θ(t) at scale parameter t = T.
