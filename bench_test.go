@@ -8,6 +8,7 @@ import (
 	"repro/internal/coloring"
 	"repro/internal/graph"
 	"repro/internal/hierarchy"
+	"repro/internal/inst"
 	"repro/internal/sim"
 )
 
@@ -167,6 +168,70 @@ func BenchmarkRegistryRun(b *testing.B) {
 		if res.Fit == nil {
 			b.Fatal("missing fit")
 		}
+	}
+}
+
+// BenchmarkInstanceCache measures what the keyed instance cache saves: a
+// cold request pays the full graph.BuildHierarchical cost of the
+// Definition-18/25 lower-bound instance, a warm request is a map hit on the
+// shared tree.
+func BenchmarkInstanceCache(b *testing.B) {
+	lengths := []int{48, 2304} // the T=48 k=2 standard-preset instance, ~113k nodes
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := inst.New(0)
+			if _, err := c.Hierarchical(lengths); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		c := inst.New(0)
+		if _, err := c.Hierarchical(lengths); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Hierarchical(lengths); err != nil {
+				b.Fatal(err)
+			}
+		}
+		s := c.Stats()
+		b.ReportMetric(float64(s.Hits), "hits")
+		b.ReportMetric(float64(s.Builds), "builds")
+	})
+}
+
+// BenchmarkBatchRunner compares the serial and concurrent execution of a
+// representative batch at the quick preset (results are identical; only
+// wall-clock differs).
+func BenchmarkBatchRunner(b *testing.B) {
+	names := []string{
+		"twocoloring-gap", "survivors", "hierarchical35-k2",
+		"copyfraction-d5", "weightaug-k2", "density-poly",
+	}
+	exps := make([]*Experiment, len(names))
+	for i, name := range names {
+		e, ok := LookupExperiment(name)
+		if !ok {
+			b.Fatalf("%q not registered", name)
+		}
+		exps[i] = e
+	}
+	ctx := context.Background()
+	for _, jobs := range []int{1, 4} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := RunBatch(ctx, exps, BatchOptions{
+					Jobs:   jobs,
+					Config: RunConfig{Preset: "quick"},
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,17 +1,25 @@
 // Command experiments runs registered experiments from the registry
 // (internal/exp) and prints their result tables — plain text by default,
-// GitHub-flavored markdown with -markdown (the source of EXPERIMENTS.md), or
-// a machine-readable JSON array with -json.
+// GitHub-flavored markdown with -markdown (the source of EXPERIMENTS.md), a
+// machine-readable JSON array with -json, or an NDJSON stream with -ndjson.
 //
 // With no flags it regenerates every experiment of the per-experiment index
 // in DESIGN.md at the standard preset, in the historical output order.
+// -jobs N executes up to N experiments concurrently; aggregate output stays
+// in registry order regardless of completion order. -out persists canonical
+// (elapsed-stripped) result JSON — one file per run under a directory, or a
+// single array when the path ends in .json — and the compare subcommand
+// diffs two such result sets as a regression check:
+//
+//	experiments compare [-tol 0.05] [-json] OLD NEW
 //
 // Examples:
 //
 //	experiments -list
 //	experiments -run twocoloring-gap -preset quick -json
-//	experiments -run weighted25-d5,weighted25-d6 -parallel 8
+//	experiments -run all -preset quick -jobs 4 -out results/
 //	experiments -preset stress -markdown
+//	experiments compare results-main/ results-branch/
 package main
 
 import (
@@ -29,15 +37,26 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		if err := compareMain(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: compare:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
-		list     = flag.Bool("list", false, "list registered experiments and exit")
-		run      = flag.String("run", "", "comma-separated experiment names (default: all)")
-		preset   = flag.String("preset", "standard", "sweep preset: quick | standard | stress")
-		jsonOut  = flag.Bool("json", false, "emit a JSON array of results")
-		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown")
-		parallel = flag.Int("parallel", 1, "simulator worker count (-1 = GOMAXPROCS)")
-		seed     = flag.Uint64("seed", 0, "override the experiments' default ID seeds (0 = defaults)")
-		quick    = flag.Bool("quick", false, "legacy alias for -preset quick")
+		list       = flag.Bool("list", false, "list registered experiments and exit")
+		run        = flag.String("run", "", `comma-separated experiment names ("" or "all": every experiment)`)
+		preset     = flag.String("preset", "standard", "sweep preset: quick | standard | stress")
+		jsonOut    = flag.Bool("json", false, "emit a JSON array of results (registry order)")
+		ndjson     = flag.Bool("ndjson", false, "stream one JSON result per line as each experiment finishes (completion order)")
+		markdown   = flag.Bool("markdown", false, "emit GitHub-flavored markdown")
+		jobs       = flag.Int("jobs", 1, "number of experiments to run concurrently")
+		parallel   = flag.Int("parallel", 1, "simulator worker count (-1 = GOMAXPROCS)")
+		seed       = flag.Uint64("seed", 0, "override the experiments' default ID seeds (0 = defaults)")
+		out        = flag.String("out", "", "persist canonical results: a directory (one file per run) or a .json path (single array)")
+		cacheStats = flag.Bool("cache-stats", false, "print instance-cache counters to stderr after the run")
+		quick      = flag.Bool("quick", false, "legacy alias for -preset quick")
 	)
 	flag.Parse()
 	if *quick {
@@ -45,51 +64,138 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := mainE(ctx, *list, *run, *preset, *jsonOut, *markdown, *parallel, *seed); err != nil {
+	err := mainE(ctx, options{
+		list: *list, run: *run, preset: *preset,
+		jsonOut: *jsonOut, ndjson: *ndjson, markdown: *markdown,
+		jobs: *jobs, parallel: *parallel, seed: *seed,
+		out: *out, cacheStats: *cacheStats,
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func mainE(ctx context.Context, list bool, run, preset string, jsonOut, markdown bool, parallel int, seed uint64) error {
-	if list {
+type options struct {
+	list, jsonOut, ndjson, markdown, cacheStats bool
+	run, preset, out                            string
+	jobs, parallel                              int
+	seed                                        uint64
+}
+
+func mainE(ctx context.Context, opts options) error {
+	if opts.list {
 		return printList()
 	}
-	exps, err := selectExperiments(run)
+	if opts.jsonOut && opts.ndjson {
+		return fmt.Errorf("-json and -ndjson both write to stdout; pick one")
+	}
+	exps, err := selectExperiments(opts.run)
 	if err != nil {
 		return err
 	}
-	cfg := repro.RunConfig{Preset: preset, Seed: seed, Parallelism: parallel}
-	var results []*repro.RunResult
-	for _, e := range exps {
-		res, err := e.Run(ctx, cfg)
-		if err != nil {
+	batch := repro.BatchOptions{
+		Jobs:   opts.jobs,
+		Config: repro.RunConfig{Preset: opts.preset, Seed: opts.seed, Parallelism: opts.parallel},
+	}
+	if opts.ndjson {
+		batch.Stream = os.Stdout
+	}
+	results, err := repro.RunBatch(ctx, exps, batch)
+	if opts.cacheStats {
+		printCacheStats()
+	}
+	if err != nil {
+		return err
+	}
+	if opts.out != "" {
+		if err := repro.WriteResults(opts.out, results); err != nil {
 			return err
 		}
-		if jsonOut {
-			results = append(results, res)
-			continue
-		}
+	}
+	switch {
+	case opts.jsonOut:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(results)
+	case opts.ndjson:
+		return nil // already streamed
+	}
+	for _, res := range results {
 		for _, tb := range res.Tables {
-			if markdown {
+			if opts.markdown {
 				fmt.Println(tb.Markdown())
 			} else {
 				fmt.Println(tb.Format())
 			}
 		}
 	}
-	if jsonOut {
+	return nil
+}
+
+// compareMain implements `experiments compare [-tol T] [-json] OLD NEW`:
+// load two persisted result sets and flag drift. Exit status 1 (via the
+// returned error) when any drift is found.
+func compareMain(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	tol := fs.Float64("tol", 0.05, "allowed fitted-slope drift before a run is flagged")
+	jsonOut := fs.Bool("json", false, "emit drifts as JSON instead of a table")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: experiments compare [-tol T] [-json] OLD NEW")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return fmt.Errorf("need exactly two result sets, got %d", fs.NArg())
+	}
+	base, err := repro.LoadResults(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cur, err := repro.LoadResults(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	drifts := repro.CompareResults(base, cur, *tol)
+	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(results)
+		if err := enc.Encode(drifts); err != nil {
+			return err
+		}
+	} else if len(drifts) == 0 {
+		fmt.Printf("no drift: %d runs match within tol %.4g\n", len(base), *tol)
+	} else {
+		tb := measure.Table{
+			Title:  fmt.Sprintf("result drift (tol %.4g)", *tol),
+			Header: []string{"run", "field", "old", "new", "detail"},
+		}
+		for _, d := range drifts {
+			tb.AddRow(d.Key, d.Field, d.Old, d.New, d.Detail)
+		}
+		fmt.Println(tb.Format())
+	}
+	if len(drifts) > 0 {
+		return fmt.Errorf("%d drift(s) beyond tolerance", len(drifts))
 	}
 	return nil
 }
 
-// selectExperiments resolves -run against the registry; empty means all, in
-// registration (historical output) order.
+func printCacheStats() {
+	s := repro.InstanceCacheStats()
+	fmt.Fprintf(os.Stderr,
+		"instance cache: %d hits, %d misses (%d builds, %d coalesced), %d evictions, %.1fms building, %d entries / %d nodes cached\n",
+		s.Hits, s.Misses, s.Builds, s.Coalesced, s.Evictions,
+		float64(s.BuildTime.Microseconds())/1000, s.Entries, s.Nodes)
+}
+
+// selectExperiments resolves -run against the registry; empty or "all"
+// means every experiment, in registration (historical output) order.
 func selectExperiments(run string) ([]*repro.Experiment, error) {
-	if run == "" {
+	if run == "" || run == "all" {
 		return repro.Experiments(), nil
 	}
 	var out []*repro.Experiment

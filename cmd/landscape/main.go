@@ -1,16 +1,18 @@
 // Command landscape prints the node-averaged complexity landscape of LCLs
 // on bounded-degree trees (Figures 1 and 2 of the paper) and, on request,
-// samples achievable complexity classes inside the dense regions.
+// samples achievable complexity classes inside the dense regions. It is a
+// thin wrapper over the registry experiments "landscape-figures" and
+// "landscape-density" (cmd/experiments runs the same computations).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro"
-	"repro/internal/landscape"
-	"repro/internal/measure"
 )
 
 func main() {
@@ -18,35 +20,34 @@ func main() {
 	lo := flag.Float64("lo", 0.1, "lower end of the sampled exponent range")
 	hi := flag.Float64("hi", 0.45, "upper end of the sampled exponent range")
 	flag.Parse()
-	if err := run(*samples, *lo, *hi); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, *samples, *lo, *hi); err != nil {
 		fmt.Fprintln(os.Stderr, "landscape:", err)
 		os.Exit(1)
 	}
 }
 
-func run(samples int, lo, hi float64) error {
-	f1, f2 := repro.LandscapeFigures()
-	fmt.Println(f1.Format())
-	fmt.Println(f2.Format())
+func run(ctx context.Context, samples int, lo, hi float64) error {
+	if err := runExperiment(ctx, "landscape-figures", repro.RunConfig{}); err != nil {
+		return err
+	}
 	if samples <= 0 {
 		return nil
 	}
-	for _, regime := range []landscape.Regime{landscape.RegimePolynomial, landscape.RegimeLogStar} {
-		a, b := lo, hi
-		if regime == landscape.RegimePolynomial && b > 0.5 {
-			b = 0.49
-		}
-		pts, err := landscape.SampleDensityPoints(regime, a, b, samples)
-		if err != nil {
-			return err
-		}
-		tb := measure.Table{
-			Title:  fmt.Sprintf("density samples, %v regime", regime),
-			Header: []string{"exponent", "Δ", "d", "k"},
-		}
-		for _, p := range pts {
-			tb.AddRow(p.Exponent, p.Delta, p.D, p.K)
-		}
+	// The density experiment's sweep vector is [samples, lo‰, hi‰] (the
+	// exponent range travels in thousandths; see the catalog entry).
+	return runExperiment(ctx, "landscape-density", repro.RunConfig{
+		Sizes: []int{samples, int(lo * 1000), int(hi * 1000)},
+	})
+}
+
+func runExperiment(ctx context.Context, name string, cfg repro.RunConfig) error {
+	res, err := repro.RunExperiment(ctx, name, cfg)
+	if err != nil {
+		return err
+	}
+	for _, tb := range res.Tables {
 		fmt.Println(tb.Format())
 	}
 	return nil

@@ -1,4 +1,7 @@
-package core
+// The end-to-end driver tests, exercised through the stable root-package
+// wrappers (they lived in the retired internal/core package; the registry
+// path is covered separately in internal/exp).
+package repro
 
 import (
 	"strings"

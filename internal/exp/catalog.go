@@ -184,6 +184,27 @@ func init() {
 		}))
 
 	MustRegister(tableExperiment(
+		"landscape-density",
+		"Density samples inside the dense bars of Figure 2: achievable exponents with (Δ,d,k) witnesses per regime. Sizes are [samples] or [samples, lo‰, hi‰] (exponent range in thousandths; default 100–450).",
+		"Theorems 1 and 6 (E-DENSE)",
+		map[string][]int{
+			PresetQuick:    {3},
+			PresetStandard: {6},
+			PresetStress:   {10},
+		}, 0,
+		func(ctx context.Context, sizes []int, _ uint64) ([]measure.Table, error) {
+			samples, lo, hi := 6, 0.1, 0.45
+			if len(sizes) > 0 {
+				samples = sizes[0]
+			}
+			if len(sizes) >= 3 {
+				lo = float64(sizes[1]) / 1000
+				hi = float64(sizes[2]) / 1000
+			}
+			return DensitySamples(ctx, samples, lo, hi)
+		}))
+
+	MustRegister(tableExperiment(
 		"pathlcl-classify",
 		"Section-11 decision procedure on the catalogue of path LCLs.",
 		"Theorem 7 (E-T7)",

@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// catalogExperiments returns the registered catalog, excluding the
+// throwaway "test-*" experiments other tests in this package register.
+func catalogExperiments() []*Experiment {
+	var out []*Experiment
+	for _, e := range List() {
+		if strings.HasPrefix(e.Name, "test-") {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// TestCatalogQuickSmoke runs every registered experiment at its quick
+// preset (concurrently, so -race also exercises the shared instance cache
+// and registry) and asserts each produces non-empty tables.
+func TestCatalogQuickSmoke(t *testing.T) {
+	for _, e := range catalogExperiments() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := e.Run(context.Background(), RunConfig{Preset: PresetQuick})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Name != e.Name {
+				t.Fatalf("result name %q", res.Name)
+			}
+			if len(res.Tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for i, tb := range res.Tables {
+				if len(tb.Rows) == 0 {
+					t.Fatalf("table %d (%q) is empty", i, tb.Title)
+				}
+			}
+		})
+	}
+}
+
+// TestCatalogPromptCancellation: every registered experiment fails fast
+// with a wrapped context.Canceled when handed an already-canceled context —
+// no work, no partial tables.
+func TestCatalogPromptCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, e := range catalogExperiments() {
+		res, err := e.Run(ctx, RunConfig{Preset: PresetQuick})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want wrapped context.Canceled", e.Name, err)
+		}
+		if res != nil {
+			t.Errorf("%s: returned a result despite cancellation", e.Name)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/dfree"
 	"repro/internal/graph"
 	"repro/internal/hierarchy"
+	"repro/internal/inst"
 	"repro/internal/labeling"
 	"repro/internal/landscape"
 	"repro/internal/measure"
@@ -22,6 +23,19 @@ import (
 	"repro/internal/sim"
 	"repro/internal/weighted"
 )
+
+// instances is the shared instance provider: every driver requests its
+// lower-bound trees here instead of calling graph.Build* directly, so
+// repeated presets (CI, benchmarks, sweeps revisiting sizes) build each
+// instance exactly once — even across concurrently running experiments
+// (the cache is singleflight-guarded). Cached values are shared and
+// read-only by graph.Tree's immutability.
+var instances = inst.New(0)
+
+// InstanceCache exposes the shared provider, for counter inspection
+// (cmd/experiments -cache-stats, tests asserting warm runs build nothing)
+// and for explicit Reset in memory-sensitive callers.
+func InstanceCache() *inst.Cache { return instances }
 
 // SweepResult is the raw outcome of one scaling experiment: the formatted
 // table, the fitted exponent, and the paper's exponent(s).
@@ -74,7 +88,7 @@ func Hierarchical35(ctx context.Context, k int, scales []int, seed uint64) (*Swe
 		for i := 1; i < k; i++ {
 			gammas[i-1] = ipow(T, 1<<uint(i-1))
 		}
-		h, err := graph.BuildHierarchical(lengths)
+		h, err := instances.Hierarchical(lengths)
 		if err != nil {
 			return nil, err
 		}
@@ -295,7 +309,7 @@ func TwoColoringGap(ctx context.Context, sizes []int, seed uint64, parallelism i
 		if err := sweepStep(ctx); err != nil {
 			return nil, err
 		}
-		tr, err := graph.BuildPath(n)
+		tr, err := instances.Path(n)
 		if err != nil {
 			return nil, err
 		}
@@ -329,7 +343,7 @@ func CopyFraction(ctx context.Context, delta, d int, sizes []int) (*SweepResult,
 		if err := sweepStep(ctx); err != nil {
 			return nil, err
 		}
-		tr, err := graph.BuildBalanced(delta, w)
+		tr, err := instances.Balanced(delta, w)
 		if err != nil {
 			return nil, err
 		}
@@ -395,6 +409,37 @@ func DensityLogStar(ctx context.Context, intervals [][2]float64, eps float64) (m
 	return tb, nil
 }
 
+// DensitySamples runs experiment E-DENSE: the executable rendering of the
+// "infinitely dense" bars of Figure 2. For each regime it samples `samples`
+// achievable exponents evenly spread in (lo, hi), each witnessed by concrete
+// (Δ, d, k) parameters. The polynomial regime is clamped below 1/2 (Theorem
+// 1's range); this mirrors what cmd/landscape -samples historically printed.
+func DensitySamples(ctx context.Context, samples int, lo, hi float64) ([]measure.Table, error) {
+	var tables []measure.Table
+	for _, regime := range []landscape.Regime{landscape.RegimePolynomial, landscape.RegimeLogStar} {
+		if err := sweepStep(ctx); err != nil {
+			return nil, err
+		}
+		a, b := lo, hi
+		if regime == landscape.RegimePolynomial && b > 0.5 {
+			b = 0.49
+		}
+		pts, err := landscape.SampleDensityPoints(regime, a, b, samples)
+		if err != nil {
+			return nil, err
+		}
+		tb := measure.Table{
+			Title:  fmt.Sprintf("E-DENSE: density samples, %v regime, %d points in (%.3g, %.3g)", regime, samples, a, b),
+			Header: []string{"exponent", "Δ", "d", "k"},
+		}
+		for _, p := range pts {
+			tb.AddRow(p.Exponent, p.Delta, p.D, p.K)
+		}
+		tables = append(tables, tb)
+	}
+	return tables, nil
+}
+
 // PathLCLTable runs experiment E-T7: the decision procedure on the
 // catalogue of path LCLs.
 func PathLCLTable() (measure.Table, error) {
@@ -440,7 +485,7 @@ func SurvivorCounts(ctx context.Context, lengths []int, gammas []int, seed uint6
 		Title:  "E-GEN: Lemma 13 survivor counts after phase 1 (k=2, 3½)",
 		Header: []string{"γ1", "n", "survivors", "bound c·n/γ (c=8)"},
 	}
-	h, err := graph.BuildHierarchical(lengths)
+	h, err := instances.Hierarchical(lengths)
 	if err != nil {
 		return tb, err
 	}

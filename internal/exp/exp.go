@@ -137,6 +137,9 @@ func sweepExperiment(name, description, theory string, presets map[string][]int,
 		DefaultSeed: seed,
 	}
 	e.Run = func(ctx context.Context, cfg RunConfig) (*Result, error) {
+		if err := sweepStep(ctx); err != nil {
+			return nil, err
+		}
 		sizes, preset, err := e.sizesFor(cfg)
 		if err != nil {
 			return nil, err
@@ -170,6 +173,9 @@ func tableExperiment(name, description, theory string, presets map[string][]int,
 		DefaultSeed: seed,
 	}
 	e.Run = func(ctx context.Context, cfg RunConfig) (*Result, error) {
+		if err := sweepStep(ctx); err != nil {
+			return nil, err
+		}
 		sizes, preset, err := e.sizesFor(cfg)
 		if err != nil {
 			return nil, err

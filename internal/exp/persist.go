@@ -1,0 +1,242 @@
+package exp
+
+// Persistence and regression comparison: canonical result files written by
+// cmd/experiments -out, loadable and diffable so a stored run doubles as a
+// regression baseline for a later one.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+
+	"repro/internal/measure"
+)
+
+// Canonical returns a copy of res with the volatile fields zeroed
+// (ElapsedMS is wall-clock and differs run to run), so two runs of the same
+// experiment at the same preset and seed marshal to identical bytes.
+func Canonical(res *Result) *Result {
+	c := *res
+	c.ElapsedMS = 0
+	return &c
+}
+
+// ResultKey identifies a persisted run: experiment + preset + seed. It is
+// the per-result file stem of WriteResults and the join key of Compare.
+func ResultKey(res *Result) string {
+	return fmt.Sprintf("%s__%s__seed%d", res.Name, res.Preset, res.Seed)
+}
+
+// WriteResults persists results in canonical form. A path ending in ".json"
+// receives the whole batch as one indented JSON array; any other path is
+// created as a directory holding one "<name>__<preset>__seed<S>.json" file
+// per result. Both forms are deterministic byte-for-byte for deterministic
+// results, so they diff cleanly under version control.
+func WriteResults(path string, results []*Result) error {
+	canon := make([]*Result, len(results))
+	for i, res := range results {
+		if res == nil {
+			return fmt.Errorf("exp: WriteResults: nil result at position %d", i)
+		}
+		canon[i] = Canonical(res)
+	}
+	if strings.HasSuffix(path, ".json") {
+		raw, err := json.MarshalIndent(canon, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(path, append(raw, '\n'), 0o644)
+	}
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return err
+	}
+	// The directory is the result set: drop stale .json files from earlier
+	// writes so a reused -out dir never feeds phantom runs into Compare.
+	existing, err := os.ReadDir(path)
+	if err != nil {
+		return err
+	}
+	for _, e := range existing {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			if err := os.Remove(filepath.Join(path, e.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	for _, res := range canon {
+		raw, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		file := filepath.Join(path, ResultKey(res)+".json")
+		if err := os.WriteFile(file, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadResults reads a result set written by WriteResults: either a single
+// .json file holding an array (or one object), or a directory of per-result
+// .json files.
+func LoadResults(path string) ([]*Result, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return loadResultFile(path)
+	}
+	entries, err := os.ReadDir(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Result
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		part, err := loadResultFile(filepath.Join(path, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, part...)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("exp: no result files in %s", path)
+	}
+	return out, nil
+}
+
+func loadResultFile(file string) ([]*Result, error) {
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	var many []*Result
+	if err := json.Unmarshal(raw, &many); err == nil {
+		return many, nil
+	}
+	var one Result
+	if err := json.Unmarshal(raw, &one); err != nil {
+		return nil, fmt.Errorf("exp: %s: neither a result array nor a result object: %w", file, err)
+	}
+	return []*Result{&one}, nil
+}
+
+// Drift is one divergence found by Compare.
+type Drift struct {
+	// Key is the ResultKey of the affected run.
+	Key string `json:"key"`
+	// Field names what diverged: "slope", "theory_slope", "tables",
+	// "missing" (in new), or "extra" (not in old).
+	Field string `json:"field"`
+	// Old and New are the compared values where numeric (slope fields).
+	Old float64 `json:"old,omitempty"`
+	New float64 `json:"new,omitempty"`
+	// Detail is the human-readable description.
+	Detail string `json:"detail"`
+}
+
+// Compare diffs two result sets, joined on ResultKey, and returns every
+// drift found: fitted slopes moving more than tol, theory slopes changing
+// at all (they are analytic constants), table counts changing, runs
+// present on only one side, and — for results without a fit — any change
+// to the table content itself (fit-less tables are analytic or discrete:
+// survivor counts, density witnesses, figures, classifications; they must
+// reproduce exactly, while measured sweep tables get the slope tolerance).
+// An empty return means the new set reproduces the old within tolerance.
+func Compare(base, cur []*Result, tol float64) []Drift {
+	index := func(rs []*Result) map[string]*Result {
+		m := make(map[string]*Result, len(rs))
+		for _, r := range rs {
+			if r != nil {
+				m[ResultKey(r)] = r
+			}
+		}
+		return m
+	}
+	oldBy, newBy := index(base), index(cur)
+	keys := make([]string, 0, len(oldBy)+len(newBy))
+	for k := range oldBy {
+		keys = append(keys, k)
+	}
+	for k := range newBy {
+		if _, ok := oldBy[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+
+	var drifts []Drift
+	for _, k := range keys {
+		o, haveOld := oldBy[k]
+		n, haveNew := newBy[k]
+		switch {
+		case !haveNew:
+			drifts = append(drifts, Drift{Key: k, Field: "missing",
+				Detail: "run present in old set but missing from new"})
+			continue
+		case !haveOld:
+			drifts = append(drifts, Drift{Key: k, Field: "extra",
+				Detail: "run present in new set but not in old"})
+			continue
+		}
+		if (o.Fit == nil) != (n.Fit == nil) {
+			drifts = append(drifts, Drift{Key: k, Field: "tables",
+				Detail: "fit section appeared or disappeared"})
+			continue
+		}
+		if o.Fit != nil {
+			if d := math.Abs(n.Fit.Slope - o.Fit.Slope); d > tol {
+				drifts = append(drifts, Drift{Key: k, Field: "slope",
+					Old: o.Fit.Slope, New: n.Fit.Slope,
+					Detail: fmt.Sprintf("fitted slope drifted %.4g > tol %.4g", d, tol)})
+			}
+			if o.Fit.TheorySlope != n.Fit.TheorySlope {
+				drifts = append(drifts, Drift{Key: k, Field: "theory_slope",
+					Old: o.Fit.TheorySlope, New: n.Fit.TheorySlope,
+					Detail: "theory slope changed (analytic constant)"})
+			}
+		}
+		if len(o.Tables) != len(n.Tables) {
+			drifts = append(drifts, Drift{Key: k, Field: "tables",
+				Old: float64(len(o.Tables)), New: float64(len(n.Tables)),
+				Detail: fmt.Sprintf("table count changed %d -> %d", len(o.Tables), len(n.Tables))})
+			continue
+		}
+		if o.Fit == nil {
+			if detail, same := tablesEqual(o.Tables, n.Tables); !same {
+				drifts = append(drifts, Drift{Key: k, Field: "tables", Detail: detail})
+			}
+		}
+	}
+	return drifts
+}
+
+// tablesEqual deep-compares two table slices of equal length, returning a
+// description of the first divergence.
+func tablesEqual(a, b []measure.Table) (string, bool) {
+	for i := range a {
+		if a[i].Title != b[i].Title {
+			return fmt.Sprintf("table %d title changed %q -> %q", i, a[i].Title, b[i].Title), false
+		}
+		if !reflect.DeepEqual(a[i].Header, b[i].Header) {
+			return fmt.Sprintf("table %d header changed", i), false
+		}
+		if len(a[i].Rows) != len(b[i].Rows) {
+			return fmt.Sprintf("table %d row count changed %d -> %d", i, len(a[i].Rows), len(b[i].Rows)), false
+		}
+		for r := range a[i].Rows {
+			if !reflect.DeepEqual(a[i].Rows[r], b[i].Rows[r]) {
+				return fmt.Sprintf("table %d row %d changed %v -> %v", i, r, a[i].Rows[r], b[i].Rows[r]), false
+			}
+		}
+	}
+	return "", true
+}

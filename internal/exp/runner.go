@@ -1,0 +1,115 @@
+package exp
+
+// The batch runner: executes a set of registered experiments across a
+// bounded worker pool, streams results as they finish, and returns a
+// deterministic aggregate regardless of completion order.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// BatchOptions parameterizes RunBatch.
+type BatchOptions struct {
+	// Jobs is the maximum number of experiments executing concurrently;
+	// values <= 1 run serially. Simulator-internal parallelism
+	// (RunConfig.Parallelism) composes multiplicatively with Jobs.
+	Jobs int
+	// Config is the per-experiment run configuration (preset, seed,
+	// simulator parallelism), shared by every experiment in the batch.
+	Config RunConfig
+	// Stream, when non-nil, receives each Result as one compact JSON line
+	// (NDJSON) the moment its experiment finishes — in completion order,
+	// which under Jobs > 1 differs run to run. The aggregate return value
+	// stays ordered by input position either way.
+	Stream io.Writer
+}
+
+// RunBatch executes exps under opts and returns their results ordered by
+// input position (registry order when the slice came from List), regardless
+// of completion order. Each experiment runs under its own context derived
+// from ctx; the first failure cancels the remaining experiments, and the
+// returned error joins every failure observed before the batch drained.
+// A nil result slice is returned on any error.
+func RunBatch(ctx context.Context, exps []*Experiment, opts BatchOptions) ([]*Result, error) {
+	for i, e := range exps {
+		if e == nil || e.Run == nil {
+			return nil, fmt.Errorf("exp: batch position %d: experiment is nil or has no Run", i)
+		}
+	}
+	jobs := opts.Jobs
+	if jobs < 1 {
+		jobs = 1
+	}
+	if jobs > len(exps) {
+		jobs = len(exps)
+	}
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex // guards the error slices and Stream writes
+		failures []error    // real failures
+		canceled []error    // cancellation fallout of the first real failure (or of ctx)
+		results  = make([]*Result, len(exps))
+		sem      = make(chan struct{}, jobs)
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			canceled = append(canceled, err)
+		} else {
+			failures = append(failures, err)
+		}
+		mu.Unlock()
+		cancel()
+	}
+	for i, e := range exps {
+		wg.Add(1)
+		go func(i int, e *Experiment) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+			case <-bctx.Done():
+				return // batch already failing; this experiment never started
+			}
+			defer func() { <-sem }()
+			ectx, ecancel := context.WithCancel(bctx)
+			defer ecancel()
+			res, err := e.Run(ectx, opts.Config)
+			if err != nil {
+				fail(err)
+				return
+			}
+			results[i] = res
+			if opts.Stream != nil {
+				mu.Lock()
+				err = json.NewEncoder(opts.Stream).Encode(res)
+				mu.Unlock()
+				if err != nil {
+					fail(fmt.Errorf("exp: %s: stream: %w", e.Name, err))
+				}
+			}
+		}(i, e)
+	}
+	wg.Wait()
+	switch {
+	case len(failures) > 0:
+		return nil, errors.Join(failures...)
+	case len(canceled) > 0:
+		return nil, canceled[0]
+	}
+	// No experiment recorded an error, but a cancellation racing the final
+	// completions may have kept queued experiments from ever starting.
+	for _, res := range results {
+		if res == nil {
+			return nil, fmt.Errorf("exp: batch canceled: %w", context.Cause(ctx))
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,191 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// batchNames is a cheap, diverse slice of the catalog for batch tests: two
+// sweeps (one simulator-backed), two analytic tables, and the figures.
+var batchNames = []string{
+	"landscape-figures", "twocoloring-gap", "survivors",
+	"density-poly", "pathlcl-classify",
+}
+
+func lookupAll(t *testing.T, names []string) []*Experiment {
+	t.Helper()
+	out := make([]*Experiment, len(names))
+	for i, name := range names {
+		e, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("%q not registered", name)
+		}
+		out[i] = e
+	}
+	return out
+}
+
+// canonicalJSON marshals results with volatile fields stripped, for
+// byte-level comparison across runs.
+func canonicalJSON(t *testing.T, results []*Result) []byte {
+	t.Helper()
+	canon := make([]*Result, len(results))
+	for i, r := range results {
+		canon[i] = Canonical(r)
+	}
+	raw, err := json.MarshalIndent(canon, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestBatchMatchesSerialByteForByte is the tentpole acceptance criterion:
+// the concurrent batch produces byte-identical canonical aggregate output
+// to the serial run, ordered by input position regardless of completion
+// order.
+func TestBatchMatchesSerialByteForByte(t *testing.T) {
+	exps := lookupAll(t, batchNames)
+	cfg := RunConfig{Preset: PresetQuick}
+	serial, err := RunBatch(context.Background(), exps, BatchOptions{Jobs: 1, Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := RunBatch(context.Background(), exps, BatchOptions{Jobs: 4, Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := canonicalJSON(t, serial), canonicalJSON(t, batch)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("batch output differs from serial:\n%s\nvs\n%s", a, b)
+	}
+	for i, res := range batch {
+		if res.Name != batchNames[i] {
+			t.Fatalf("position %d holds %q, want %q (order must follow input)", i, res.Name, batchNames[i])
+		}
+	}
+}
+
+// TestBatchStreamsNDJSON: the stream receives one valid JSON object per
+// finished experiment, regardless of completion order.
+func TestBatchStreamsNDJSON(t *testing.T) {
+	exps := lookupAll(t, batchNames)
+	var buf bytes.Buffer
+	results, err := RunBatch(context.Background(), exps, BatchOptions{
+		Jobs:   3,
+		Config: RunConfig{Preset: PresetQuick},
+		Stream: &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(exps) {
+		t.Fatalf("streamed %d lines, want %d", len(lines), len(exps))
+	}
+	seen := map[string]bool{}
+	for _, line := range lines {
+		var res Result
+		if err := json.Unmarshal([]byte(line), &res); err != nil {
+			t.Fatalf("stream line is not a result object: %v\n%s", err, line)
+		}
+		if len(res.Tables) == 0 {
+			t.Fatalf("streamed result %q has no tables", res.Name)
+		}
+		seen[res.Name] = true
+	}
+	for i, res := range results {
+		if !seen[res.Name] {
+			t.Fatalf("aggregate result %d (%q) never streamed", i, res.Name)
+		}
+	}
+}
+
+// TestBatchFirstFailureCancelsRest: one failing experiment fails the batch
+// with its error, and in-flight work observes cancellation.
+func TestBatchFirstFailureCancelsRest(t *testing.T) {
+	boom := errors.New("boom")
+	var sawCancel atomic.Bool
+	slowStarted := make(chan struct{})
+	exps := []*Experiment{
+		{Name: "test-batch-fail", Run: func(ctx context.Context, cfg RunConfig) (*Result, error) {
+			// Fail only once the sibling is in flight, so the test observes
+			// mid-run cancellation rather than a never-started experiment.
+			<-slowStarted
+			return nil, boom
+		}},
+		{Name: "test-batch-slow", Run: func(ctx context.Context, cfg RunConfig) (*Result, error) {
+			close(slowStarted)
+			select {
+			case <-ctx.Done():
+				sawCancel.Store(true)
+				return nil, fmt.Errorf("slow: %w", ctx.Err())
+			case <-time.After(10 * time.Second):
+				return &Result{Name: "test-batch-slow", Tables: nil}, nil
+			}
+		}},
+	}
+	started := time.Now()
+	_, err := RunBatch(context.Background(), exps, BatchOptions{Jobs: 2})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the experiment's own failure", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatalf("cancellation fallout drowned the real failure: %v", err)
+	}
+	if !sawCancel.Load() {
+		t.Fatal("sibling experiment never observed cancellation")
+	}
+	if time.Since(started) > 5*time.Second {
+		t.Fatal("batch waited for the slow experiment instead of canceling it")
+	}
+}
+
+// TestBatchHonorsParentCancellation: an already-canceled parent context
+// fails the whole batch with context.Canceled.
+func TestBatchHonorsParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	exps := lookupAll(t, []string{"twocoloring-gap", "survivors"})
+	if _, err := RunBatch(ctx, exps, BatchOptions{Jobs: 2, Config: RunConfig{Preset: PresetQuick}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+}
+
+// TestBatchRejectsNilExperiments: nil entries are a caller bug reported up
+// front, not a mid-batch panic.
+func TestBatchRejectsNilExperiments(t *testing.T) {
+	if _, err := RunBatch(context.Background(), []*Experiment{nil}, BatchOptions{}); err == nil {
+		t.Fatal("nil experiment accepted")
+	}
+}
+
+// TestWarmCacheRepeatBuildsNothing is the instance-cache acceptance
+// criterion: a warm repeat of a quick preset performs zero graph.Build*
+// calls, asserted via the provider counters.
+func TestWarmCacheRepeatBuildsNothing(t *testing.T) {
+	exps := lookupAll(t, []string{"twocoloring-gap", "survivors", "hierarchical35-k2", "copyfraction-d5"})
+	cfg := RunConfig{Preset: PresetQuick}
+	if _, err := RunBatch(context.Background(), exps, BatchOptions{Jobs: 2, Config: cfg}); err != nil {
+		t.Fatal(err)
+	}
+	warm := InstanceCache().Stats()
+	if _, err := RunBatch(context.Background(), exps, BatchOptions{Jobs: 2, Config: cfg}); err != nil {
+		t.Fatal(err)
+	}
+	after := InstanceCache().Stats()
+	if after.Builds != warm.Builds {
+		t.Fatalf("warm repeat built %d instances, want 0 (stats %+v -> %+v)",
+			after.Builds-warm.Builds, warm, after)
+	}
+	if after.Hits <= warm.Hits {
+		t.Fatal("warm repeat recorded no cache hits")
+	}
+}

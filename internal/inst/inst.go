@@ -1,0 +1,281 @@
+// Package inst is the instance provider: a keyed, size-bounded,
+// singleflight-guarded cache over the graph.Build* constructions.
+//
+// The lower-bound instances behind the paper's sweeps (the Definition-18
+// hierarchical graphs, balanced Δ-regular weight trees, and plain paths) are
+// pure functions of their construction parameters, and graph.Tree is
+// immutable, so a tree built once can be shared by every sweep point, every
+// preset, and every concurrently running experiment that asks for the same
+// parameters. A Cache keys each construction by (kind, parameters), builds on
+// first request, and serves shared references afterwards; concurrent first
+// requests for the same key are coalesced so each instance is built exactly
+// once. Entries are evicted least-recently-used once the total cached node
+// count exceeds the bound.
+//
+// Callers must treat returned values as read-only: trees (and the
+// Hierarchical metadata around them) are shared across goroutines.
+package inst
+
+import (
+	"container/list"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// DefaultMaxNodes bounds the default cache at ~16.7M cached tree nodes,
+// comfortably above the standard presets (the largest standard instance,
+// the T=144 k=2 hierarchical graph, is ~3M nodes) while keeping the cache
+// well under a gigabyte.
+const DefaultMaxNodes = 1 << 24
+
+// Kind names a cached construction family.
+type Kind string
+
+// The cached construction kinds, one per graph.Build* entry point used by
+// the experiment drivers.
+const (
+	KindPath         Kind = "path"
+	KindBalanced     Kind = "balanced"
+	KindHierarchical Kind = "hierarchical"
+)
+
+// Key identifies one construction: the kind plus its parameters. Keys are
+// comparable and printable (they name the persisted-instance slot in logs
+// and counters).
+type Key struct {
+	Kind Kind
+	// A and B are the scalar parameters: Path{n}, Balanced{delta, size}.
+	A, B int
+	// Lengths is the canonical "ell_1,...,ell_k" encoding of a hierarchical
+	// construction's path-length vector; empty for scalar kinds.
+	Lengths string
+}
+
+func (k Key) String() string {
+	switch k.Kind {
+	case KindPath:
+		return fmt.Sprintf("path(%d)", k.A)
+	case KindBalanced:
+		return fmt.Sprintf("balanced(%d,%d)", k.A, k.B)
+	case KindHierarchical:
+		return fmt.Sprintf("hierarchical(%s)", k.Lengths)
+	}
+	return fmt.Sprintf("%s(%d,%d,%s)", k.Kind, k.A, k.B, k.Lengths)
+}
+
+// PathKey is the cache key for graph.BuildPath(n).
+func PathKey(n int) Key { return Key{Kind: KindPath, A: n} }
+
+// BalancedKey is the cache key for graph.BuildBalanced(delta, size).
+func BalancedKey(delta, size int) Key { return Key{Kind: KindBalanced, A: delta, B: size} }
+
+// HierarchicalKey is the cache key for graph.BuildHierarchical(lengths).
+func HierarchicalKey(lengths []int) Key {
+	var b strings.Builder
+	for i, l := range lengths {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(l))
+	}
+	return Key{Kind: KindHierarchical, Lengths: b.String()}
+}
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	// Hits counts requests served from a cached entry.
+	Hits uint64 `json:"hits"`
+	// Misses counts requests that found no entry and triggered (or joined) a
+	// build.
+	Misses uint64 `json:"misses"`
+	// Coalesced counts misses that joined another goroutine's in-flight
+	// build instead of building themselves (singleflight sharing).
+	Coalesced uint64 `json:"coalesced"`
+	// Builds counts actual graph.Build* invocations, successful or failed
+	// (failed builds leave no entry). Misses == Builds + Coalesced.
+	Builds uint64 `json:"builds"`
+	// Evictions counts entries dropped by the LRU size bound.
+	Evictions uint64 `json:"evictions"`
+	// BuildTime is the cumulative wall-clock time spent inside graph.Build*.
+	BuildTime time.Duration `json:"build_time_ns"`
+	// Entries and Nodes are the current cache occupancy.
+	Entries int   `json:"entries"`
+	Nodes   int64 `json:"nodes"`
+}
+
+// entry is one cached instance.
+type entry struct {
+	key   Key
+	val   any
+	nodes int64
+	elem  *list.Element
+}
+
+// call is one in-flight build, shared by coalesced requesters.
+type call struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+// Cache is a keyed, size-bounded, singleflight-guarded instance cache. The
+// zero value is not usable; construct with New.
+type Cache struct {
+	mu       sync.Mutex
+	maxNodes int64
+	entries  map[Key]*entry
+	lru      *list.List // front = most recently used; values are *entry
+	flight   map[Key]*call
+	nodes    int64
+	stats    Stats
+}
+
+// New returns a Cache bounded at maxNodes total cached tree nodes
+// (maxNodes <= 0 selects DefaultMaxNodes).
+func New(maxNodes int64) *Cache {
+	if maxNodes <= 0 {
+		maxNodes = DefaultMaxNodes
+	}
+	return &Cache{
+		maxNodes: maxNodes,
+		entries:  make(map[Key]*entry),
+		lru:      list.New(),
+		flight:   make(map[Key]*call),
+	}
+}
+
+// Path returns the cached path with n nodes, building it on first request.
+func (c *Cache) Path(n int) (*graph.Tree, error) {
+	v, err := c.get(PathKey(n), func() (any, int64, error) {
+		t, err := graph.BuildPath(n)
+		if err != nil {
+			return nil, 0, err
+		}
+		return t, int64(t.N()), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*graph.Tree), nil
+}
+
+// Balanced returns the cached balanced Δ-regular tree with exactly size
+// nodes, building it on first request.
+func (c *Cache) Balanced(delta, size int) (*graph.Tree, error) {
+	v, err := c.get(BalancedKey(delta, size), func() (any, int64, error) {
+		t, err := graph.BuildBalanced(delta, size)
+		if err != nil {
+			return nil, 0, err
+		}
+		return t, int64(t.N()), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*graph.Tree), nil
+}
+
+// Hierarchical returns the cached Definition-18 lower-bound graph for the
+// given path-length vector, building it on first request.
+func (c *Cache) Hierarchical(lengths []int) (*graph.Hierarchical, error) {
+	v, err := c.get(HierarchicalKey(lengths), func() (any, int64, error) {
+		h, err := graph.BuildHierarchical(lengths)
+		if err != nil {
+			return nil, 0, err
+		}
+		return h, int64(h.Tree.N()), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*graph.Hierarchical), nil
+}
+
+// get serves key from the cache, joining an in-flight build or invoking
+// build exactly once on a cold key. Build errors are returned to every
+// waiter and are not cached.
+func (c *Cache) get(key Key, build func() (any, int64, error)) (any, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.stats.Hits++
+		c.lru.MoveToFront(e.elem)
+		c.mu.Unlock()
+		return e.val, nil
+	}
+	c.stats.Misses++
+	if cl, ok := c.flight[key]; ok {
+		c.stats.Coalesced++
+		c.mu.Unlock()
+		cl.wg.Wait()
+		return cl.val, cl.err
+	}
+	cl := &call{}
+	cl.wg.Add(1)
+	c.flight[key] = cl
+	c.mu.Unlock()
+
+	started := time.Now()
+	val, nodes, err := build()
+	elapsed := time.Since(started)
+
+	c.mu.Lock()
+	delete(c.flight, key)
+	c.stats.Builds++
+	c.stats.BuildTime += elapsed
+	if err == nil {
+		c.insertLocked(key, val, nodes)
+	}
+	c.mu.Unlock()
+
+	cl.val, cl.err = val, err
+	cl.wg.Done()
+	return val, err
+}
+
+// insertLocked adds a built instance and evicts least-recently-used entries
+// until the node bound holds again. The freshly inserted entry is never
+// evicted on its own insert, so instances larger than the bound still serve
+// the current callers (they become eviction candidates on the next insert).
+func (c *Cache) insertLocked(key Key, val any, nodes int64) {
+	e := &entry{key: key, val: val, nodes: nodes}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	c.nodes += nodes
+	for c.nodes > c.maxNodes && c.lru.Len() > 1 {
+		oldest := c.lru.Back()
+		if oldest == nil || oldest == e.elem {
+			break
+		}
+		victim := oldest.Value.(*entry)
+		c.lru.Remove(oldest)
+		delete(c.entries, victim.key)
+		c.nodes -= victim.nodes
+		c.stats.Evictions++
+	}
+}
+
+// Stats returns a snapshot of the counters and current occupancy.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	s.Nodes = c.nodes
+	return s
+}
+
+// Reset drops every cached entry and zeroes the counters. In-flight builds
+// complete normally but their results are inserted into the cleared cache.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[Key]*entry)
+	c.lru = list.New()
+	c.nodes = 0
+	c.stats = Stats{}
+}

@@ -1,0 +1,230 @@
+package inst
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestHitMissCounters: a cold request builds, a warm repeat is served from
+// cache with zero additional builds.
+func TestHitMissCounters(t *testing.T) {
+	c := New(0)
+	a, err := c.Path(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Path(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("warm request returned a different instance")
+	}
+	s := c.Stats()
+	if s.Builds != 1 || s.Misses != 1 || s.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 build, 1 miss, 1 hit", s)
+	}
+	if s.Entries != 1 || s.Nodes != 50 {
+		t.Fatalf("occupancy = %d entries / %d nodes, want 1/50", s.Entries, s.Nodes)
+	}
+	if s.BuildTime <= 0 {
+		t.Fatal("build time not recorded")
+	}
+}
+
+// TestKeySeparation: different kinds and parameters occupy distinct slots.
+func TestKeySeparation(t *testing.T) {
+	c := New(0)
+	if _, err := c.Path(10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Path(11); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Balanced(3, 10); err != nil {
+		t.Fatal(err)
+	}
+	h1, err := c.Hierarchical([]int{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := c.Hierarchical([]int{4, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h2 {
+		t.Fatal("distinct length vectors shared one slot")
+	}
+	if s := c.Stats(); s.Builds != 5 || s.Hits != 0 {
+		t.Fatalf("stats = %+v, want 5 distinct builds", s)
+	}
+	if HierarchicalKey([]int{3, 4}) == HierarchicalKey([]int{34}) {
+		t.Fatal("length encoding is ambiguous")
+	}
+}
+
+// TestErrorsNotCached: a failing build propagates its error and leaves no
+// entry, so a later valid request is unaffected.
+func TestErrorsNotCached(t *testing.T) {
+	c := New(0)
+	if _, err := c.Path(0); err == nil {
+		t.Fatal("invalid construction accepted")
+	}
+	if _, err := c.Path(0); err == nil {
+		t.Fatal("invalid construction accepted on repeat")
+	}
+	s := c.Stats()
+	if s.Entries != 0 {
+		t.Fatalf("failed build cached: %+v", s)
+	}
+	if s.Builds != 2 {
+		t.Fatalf("failed build coalesced into cache: %+v", s)
+	}
+}
+
+// TestLRUEviction: exceeding the node bound evicts the least recently used
+// entry first.
+func TestLRUEviction(t *testing.T) {
+	c := New(100)
+	if _, err := c.Path(40); err != nil { // oldest
+		t.Fatal(err)
+	}
+	if _, err := c.Path(50); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Path(40); err != nil { // touch: 40 now most recent
+		t.Fatal(err)
+	}
+	if _, err := c.Path(30); err != nil { // 120 > 100: evicts 50
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.Evictions != 1 || s.Nodes != 70 || s.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction leaving 70 nodes in 2 entries", s)
+	}
+	if _, err := c.Path(40); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats(); got.Builds != s.Builds {
+		t.Fatal("recently used entry was evicted")
+	}
+	if _, err := c.Path(50); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats(); got.Builds != s.Builds+1 {
+		t.Fatal("least recently used entry survived eviction")
+	}
+}
+
+// TestOversizedInstanceStillServed: an instance larger than the whole bound
+// is built, returned, and kept until the next insert.
+func TestOversizedInstanceStillServed(t *testing.T) {
+	c := New(10)
+	tr, err := c.Path(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.N() != 100 {
+		t.Fatalf("got %d nodes", tr.N())
+	}
+	if s := c.Stats(); s.Entries != 1 {
+		t.Fatalf("oversized entry dropped on its own insert: %+v", s)
+	}
+	if _, err := c.Path(5); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Nodes > 10 {
+		t.Fatalf("bound not restored on next insert: %+v", s)
+	}
+}
+
+// TestSingleflightCoalesces: concurrent cold requests for one key share a
+// single build.
+func TestSingleflightCoalesces(t *testing.T) {
+	c := New(0)
+	const workers = 16
+	trees := make([]*graph.Tree, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr, err := c.Hierarchical([]int{20, 30})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			trees[i] = tr.Tree
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		if trees[i] != trees[0] {
+			t.Fatal("coalesced requests returned distinct instances")
+		}
+	}
+	s := c.Stats()
+	if s.Builds != 1 {
+		t.Fatalf("%d builds for one key under contention", s.Builds)
+	}
+	if s.Hits+s.Coalesced != workers-1 {
+		t.Fatalf("stats = %+v, want %d shared requests", s, workers-1)
+	}
+}
+
+// TestConcurrentMixedLoad hammers the cache from many goroutines under
+// -race: distinct keys, repeats, and evictions at a tight bound.
+func TestConcurrentMixedLoad(t *testing.T) {
+	c := New(500)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				switch i % 3 {
+				case 0:
+					if _, err := c.Path(10 + i%7); err != nil {
+						t.Error(err)
+					}
+				case 1:
+					if _, err := c.Balanced(3, 20+i%5); err != nil {
+						t.Error(err)
+					}
+				default:
+					if _, err := c.Hierarchical([]int{2 + i%3, 4}); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Hits+s.Misses != 8*50 {
+		t.Fatalf("requests lost: %+v", s)
+	}
+	if s.Nodes > 500 && s.Entries > 1 {
+		t.Fatalf("bound violated: %+v", s)
+	}
+}
+
+// TestReset zeroes counters and occupancy.
+func TestReset(t *testing.T) {
+	c := New(0)
+	if _, err := c.Path(10); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	if s := c.Stats(); s != (Stats{}) {
+		t.Fatalf("stats after reset = %+v", s)
+	}
+	if _, err := c.Path(10); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Builds != 1 {
+		t.Fatalf("entry survived reset: %+v", s)
+	}
+}

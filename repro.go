@@ -4,23 +4,32 @@
 //
 // # Architecture
 //
-// Execution is organized around two public APIs:
+// Execution is organized around the batch pipeline construction → execution
+// → emission:
 //
-//   - The simulation engine (internal/sim): a synchronous LOCAL-model
-//     simulator configured via functional options — sim.NewEngine(
-//     sim.WithIDs(...), sim.WithInputs(...), sim.WithMaxRounds(...),
-//     sim.WithContext(ctx), sim.WithParallelism(n)).Run(tree, alg). The
-//     parallel backend steps the nodes of each round across a worker pool;
-//     the synchronous-round barrier makes this semantics-preserving, so
-//     sequential and parallel runs produce bit-identical rounds, outputs,
-//     and message counts. Runs honor context cancellation at every round.
+//   - Construction (internal/inst, wired inside the drivers): lower-bound
+//     instances are requested through a keyed, size-bounded, singleflight
+//     cache over the graph.Build* constructions, so repeated presets and
+//     concurrently running experiments build each instance exactly once.
+//     InstanceCacheStats exposes the hit/miss/build-time counters.
 //
-//   - The experiment registry (internal/exp, re-exported here): every
-//     result-regenerating computation of the paper is a registered
-//     Experiment with quick/standard/stress presets and a context-aware Run
-//     returning a JSON-native Result. Discover them with Experiments or
-//     LookupExperiment and run them programmatically, or from the shell via
-//     cmd/experiments (-list, -run <name>, -preset, -json, -parallel).
+//   - Execution: every result-regenerating computation of the paper is a
+//     registered Experiment (internal/exp, re-exported here) with
+//     quick/standard/stress presets and a context-aware Run returning a
+//     JSON-native Result. RunBatch executes a set of experiments across a
+//     bounded worker pool with per-experiment contexts; the simulation
+//     engine (internal/sim) adds round-internal parallelism below it via
+//     functional options — sim.NewEngine(sim.WithIDs(...),
+//     sim.WithParallelism(n)).Run(tree, alg) — with sequential and parallel
+//     runs bit-identical.
+//
+//   - Emission: RunBatch streams each Result as NDJSON the moment it
+//     finishes while keeping the aggregate deterministic (registry order);
+//     WriteResults persists canonical (elapsed-stripped) JSON keyed by
+//     experiment+preset+seed, and CompareResults diffs two persisted sets,
+//     flagging fitted-slope drift beyond a tolerance — a regression tracker
+//     over the JSON schema. cmd/experiments exposes all of it (-run, -jobs,
+//     -json, -ndjson, -out, and the compare subcommand).
 //
 // The substrate packages provide:
 //
@@ -42,20 +51,20 @@
 // The context-free driver functions below (Hierarchical35, Weighted25, ...)
 // are the legacy entry points, kept stable for downstream users and the
 // repository-level benchmarks; each is a thin wrapper over the corresponding
-// registry driver.
+// registry driver in internal/exp.
 package repro
 
 import (
 	"context"
 
-	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/inst"
 	"repro/internal/measure"
 )
 
 // ExpResult is a scaling-experiment outcome: a formatted table, the fitted
 // exponent, and the paper's exponent(s).
-type ExpResult = core.ExpResult
+type ExpResult = exp.SweepResult
 
 // Table is a formatted result table.
 type Table = measure.Table
@@ -70,6 +79,16 @@ type RunConfig = exp.RunConfig
 
 // RunResult is the JSON-native outcome of a registry experiment run.
 type RunResult = exp.Result
+
+// BatchOptions parameterizes RunBatch (worker count, shared RunConfig,
+// optional NDJSON stream).
+type BatchOptions = exp.BatchOptions
+
+// Drift is one divergence reported by CompareResults.
+type Drift = exp.Drift
+
+// CacheStats is a snapshot of the instance-cache counters.
+type CacheStats = inst.Stats
 
 // Experiments returns every registered experiment in registration order.
 func Experiments() []*Experiment { return exp.List() }
@@ -86,60 +105,84 @@ func RunExperiment(ctx context.Context, name string, cfg RunConfig) (*RunResult,
 	return e.Run(ctx, cfg)
 }
 
+// RunBatch executes a set of experiments across a bounded worker pool; see
+// exp.RunBatch.
+func RunBatch(ctx context.Context, exps []*Experiment, opts BatchOptions) ([]*RunResult, error) {
+	return exp.RunBatch(ctx, exps, opts)
+}
+
+// WriteResults persists results in canonical (elapsed-stripped) JSON form:
+// one file per run under a directory, or a single array at a .json path.
+func WriteResults(path string, results []*RunResult) error {
+	return exp.WriteResults(path, results)
+}
+
+// LoadResults reads a result set written by WriteResults.
+func LoadResults(path string) ([]*RunResult, error) { return exp.LoadResults(path) }
+
+// CompareResults diffs two result sets and reports drift (fitted slopes
+// beyond tol, changed analytic constants, shape changes, one-sided runs).
+func CompareResults(base, cur []*RunResult, tol float64) []Drift {
+	return exp.Compare(base, cur, tol)
+}
+
+// InstanceCacheStats snapshots the shared instance provider's counters.
+func InstanceCacheStats() CacheStats { return exp.InstanceCache().Stats() }
+
 // Hierarchical35 reproduces Theorem 11 (E-T11): node-averaged complexity of
 // k-hierarchical 3½-coloring is Θ(t) at scale parameter t = T.
 func Hierarchical35(k int, scales []int, seed uint64) (*ExpResult, error) {
-	return core.Hierarchical35(k, scales, seed)
+	return exp.Hierarchical35(context.Background(), k, scales, seed)
 }
 
 // Weighted25 reproduces Theorems 2-3 (E-T2T3): Π^{2.5}_{Δ,d,k} has
 // node-averaged complexity Θ(n^{α1(x)}).
 func Weighted25(delta, d, k int, sizes []int, seed uint64) (*ExpResult, error) {
-	return core.Weighted25(delta, d, k, sizes, seed)
+	return exp.Weighted25(context.Background(), delta, d, k, sizes, seed)
 }
 
 // Weighted35 reproduces Theorems 4-5 (E-T4T5): Π^{3.5}_{Δ,d,k} scales
 // between (log* n)^{α1(x)} and (log* n)^{α1(x′)} in the scale parameter.
 func Weighted35(delta, d, k int, scales []int, weightFactor int, seed uint64) (*ExpResult, error) {
-	return core.Weighted35(delta, d, k, scales, weightFactor, seed)
+	return exp.Weighted35(context.Background(), delta, d, k, scales, weightFactor, seed)
 }
 
 // WeightAugmented reproduces Lemmas 68-69 (E-L68): node-averaged complexity
 // Θ(n^{1/k}) for the weight-augmented 2½-coloring.
 func WeightAugmented(k, delta int, sizes []int, seed uint64) (*ExpResult, error) {
-	return core.WeightAugmented(k, delta, sizes, seed)
+	return exp.WeightAugmented(context.Background(), k, delta, sizes, seed)
 }
 
 // TwoColoringGap reproduces Corollary 60 (E-C60): node-averaged Θ(n) for
 // 2-coloring paths, via real message-passing simulation.
 func TwoColoringGap(sizes []int, seed uint64) (*ExpResult, error) {
-	return core.TwoColoringGap(sizes, seed)
+	return exp.TwoColoringGap(context.Background(), sizes, seed, 1)
 }
 
 // CopyFraction reproduces Lemma 40 (E-L40): Copy-set size w^x of Algorithm
 // 𝒜 on balanced Δ-regular weight trees.
 func CopyFraction(delta, d int, sizes []int) (*ExpResult, error) {
-	return core.CopyFraction(delta, d, sizes)
+	return exp.CopyFraction(context.Background(), delta, d, sizes)
 }
 
 // DensityPoly reproduces Theorem 1 (E-T1): concrete (Δ,d,k) witnesses for
 // exponents in requested intervals.
 func DensityPoly(intervals [][2]float64) (Table, error) {
-	return core.DensityPoly(intervals)
+	return exp.DensityPoly(context.Background(), intervals)
 }
 
 // DensityLogStar reproduces Theorem 6 (E-T6).
 func DensityLogStar(intervals [][2]float64, eps float64) (Table, error) {
-	return core.DensityLogStar(intervals, eps)
+	return exp.DensityLogStar(context.Background(), intervals, eps)
 }
 
 // PathLCLTable reproduces the Theorem 7 decidability demonstration (E-T7).
-func PathLCLTable() (Table, error) { return core.PathLCLTable() }
+func PathLCLTable() (Table, error) { return exp.PathLCLTable() }
 
 // LandscapeFigures renders Figures 1 and 2 of the paper as tables.
-func LandscapeFigures() (Table, Table) { return core.LandscapeFigures() }
+func LandscapeFigures() (Table, Table) { return exp.LandscapeFigures() }
 
 // SurvivorCounts reproduces the Lemma 13 survivor bound (E-GEN).
 func SurvivorCounts(lengths []int, gammas []int, seed uint64) (Table, error) {
-	return core.SurvivorCounts(lengths, gammas, seed)
+	return exp.SurvivorCounts(context.Background(), lengths, gammas, seed)
 }
