@@ -235,6 +235,35 @@ func BenchmarkBatchRunner(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepScheduler measures the task-level scheduler on a single
+// sweep experiment: with tasks as the scheduling unit, -jobs parallelizes
+// inside one sweep, so jobs > 1 shortens the batch's critical path on
+// multi-core hosts (results are byte-identical at every level; only
+// wall-clock differs).
+func BenchmarkSweepScheduler(b *testing.B) {
+	e, ok := LookupExperiment("twocoloring-gap")
+	if !ok {
+		b.Fatal("twocoloring-gap not registered")
+	}
+	ctx := context.Background()
+	for _, jobs := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, err := RunBatch(ctx, []*Experiment{e}, BatchOptions{
+					Jobs:   jobs,
+					Config: RunConfig{Preset: "quick"},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if results[0].Fit == nil {
+					b.Fatal("missing fit")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEngineParallelism compares the engine's sequential and parallel
 // backends on the message-heavy 2-coloring path (results are bit-identical
 // across backends; only wall-clock differs).

@@ -190,6 +190,18 @@ func printCacheStats() {
 		"instance cache: %d hits, %d misses (%d builds, %d coalesced), %d evictions, %.1fms building, %d entries / %d nodes cached\n",
 		s.Hits, s.Misses, s.Builds, s.Coalesced, s.Evictions,
 		float64(s.BuildTime.Microseconds())/1000, s.Entries, s.Nodes)
+	// Per-kind breakdown in stable order: the bare tree builds first, then
+	// the composite weighted/weight-augmented entries.
+	for _, kind := range repro.InstanceCacheKinds() {
+		ks, ok := s.Kinds[kind]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(os.Stderr,
+			"  %-12s %d builds, %d hits, %.1fms building, %d entries / %d nodes\n",
+			kind, ks.Builds, ks.Hits,
+			float64(ks.BuildTime.Microseconds())/1000, ks.Entries, ks.Nodes)
+	}
 }
 
 // selectExperiments resolves -run against the registry; empty or "all"

@@ -48,9 +48,7 @@ func init() {
 			PresetStandard: {12, 24, 48, 96, 144},
 			PresetStress:   {12, 24, 48, 96, 144, 216, 288},
 		}, 1,
-		func(ctx context.Context, sizes []int, seed uint64, _ int) (*SweepResult, error) {
-			return Hierarchical35(ctx, 2, sizes, seed)
-		}))
+		func() (*sweepSpec, error) { return hierarchical35Spec(2), nil }))
 
 	MustRegister(sweepExperiment(
 		"hierarchical35-k3",
@@ -61,9 +59,7 @@ func init() {
 			PresetStandard: {2, 3, 4, 5, 6},
 			PresetStress:   {2, 3, 4, 5, 6, 7},
 		}, 2,
-		func(ctx context.Context, sizes []int, seed uint64, _ int) (*SweepResult, error) {
-			return Hierarchical35(ctx, 3, sizes, seed)
-		}))
+		func() (*sweepSpec, error) { return hierarchical35Spec(3), nil }))
 
 	weighted25 := func(name, desc string, delta, d, k int, standard, stress []int) {
 		MustRegister(sweepExperiment(
@@ -73,9 +69,7 @@ func init() {
 				PresetStandard: standard,
 				PresetStress:   stress,
 			}, 3,
-			func(ctx context.Context, sizes []int, seed uint64, _ int) (*SweepResult, error) {
-				return Weighted25(ctx, delta, d, k, sizes, seed)
-			}))
+			func() (*sweepSpec, error) { return weighted25Spec(delta, d, k) }))
 	}
 	weighted25("weighted25-d5",
 		"A_poly on the Definition-25 construction for Π^2.5_{Δ=5,d=2,k=2}; waiting node-avg ~ Θ(n^α1).",
@@ -103,9 +97,7 @@ func init() {
 				PresetStandard: {16, 32, 64, 128, 256},
 				PresetStress:   {16, 32, 64, 128, 256, 512},
 			}, 4,
-			func(ctx context.Context, sizes []int, seed uint64, _ int) (*SweepResult, error) {
-				return Weighted35(ctx, delta, 3, 2, sizes, 3, seed)
-			}))
+			func() (*sweepSpec, error) { return weighted35Spec(delta, 3, 2, 3) }))
 	}
 	weighted35("weighted35-d7", 7)
 	weighted35("weighted35-d9", 9)
@@ -120,9 +112,7 @@ func init() {
 				PresetStandard: {16000, 64000, 256000, 1024000},
 				PresetStress:   {16000, 64000, 256000, 1024000, 4096000},
 			}, 5,
-			func(ctx context.Context, sizes []int, seed uint64, _ int) (*SweepResult, error) {
-				return WeightAugmented(ctx, k, 5, sizes, seed)
-			}))
+			func() (*sweepSpec, error) { return weightAugmentedSpec(k, 5), nil }))
 	}
 	weightAug("weightaug-k2", 2)
 	weightAug("weightaug-k3", 3)
@@ -136,9 +126,7 @@ func init() {
 			PresetStandard: {200, 400, 800, 1600},
 			PresetStress:   {200, 400, 800, 1600, 3200, 6400},
 		}, 6,
-		func(ctx context.Context, sizes []int, seed uint64, parallelism int) (*SweepResult, error) {
-			return TwoColoringGap(ctx, sizes, seed, parallelism)
-		}))
+		func() (*sweepSpec, error) { return twoColoringGapSpec(), nil }))
 
 	copyFraction := func(name string, delta, d int) {
 		MustRegister(sweepExperiment(
@@ -150,9 +138,7 @@ func init() {
 				PresetStandard: {4000, 16000, 64000, 256000, 1024000},
 				PresetStress:   {4000, 16000, 64000, 256000, 1024000, 4096000},
 			}, 0,
-			func(ctx context.Context, sizes []int, _ uint64, _ int) (*SweepResult, error) {
-				return CopyFraction(ctx, delta, d, sizes)
-			}))
+			func() (*sweepSpec, error) { return copyFractionSpec(delta, d) }))
 	}
 	copyFraction("copyfraction-d5", 5, 2)
 	copyFraction("copyfraction-d7", 7, 3)

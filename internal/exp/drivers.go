@@ -1,10 +1,12 @@
 package exp
 
-// The sweep drivers regenerating every table and figure of the paper. They
-// were moved here from internal/core (which keeps thin wrappers for legacy
-// callers); each driver honors ctx between sweep points and returns the raw
-// SweepResult consumed by both the legacy API and the registered
-// experiments.
+// The sweep drivers regenerating every table and figure of the paper. Each
+// scaling sweep is declared as a sweepSpec: per-run analytic constants plus
+// one independent point function per sweep value. The spec feeds both
+// execution paths — the serial legacy API (Hierarchical35, Weighted25, ...)
+// and the task planner behind RunBatch, which schedules individual sweep
+// points across the -jobs pool — so a sweep produces identical results no
+// matter how its points are scheduled.
 
 import (
 	"context"
@@ -25,11 +27,12 @@ import (
 )
 
 // instances is the shared instance provider: every driver requests its
-// lower-bound trees here instead of calling graph.Build* directly, so
+// lower-bound instances here instead of calling the builders directly, so
 // repeated presets (CI, benchmarks, sweeps revisiting sizes) build each
-// instance exactly once — even across concurrently running experiments
-// (the cache is singleflight-guarded). Cached values are shared and
-// read-only by graph.Tree's immutability.
+// instance exactly once — even across concurrently running tasks (the cache
+// is singleflight-guarded). This includes the composite Definition-25
+// weighted and Section-10 weight-augmented instances, which dominate the
+// standard batch. Cached values are shared and read-only.
 var instances = inst.New(0)
 
 // InstanceCache exposes the shared provider, for counter inspection
@@ -68,58 +71,128 @@ func sweepStep(ctx context.Context) error {
 	return nil
 }
 
-// Hierarchical35 runs experiment E-T11 (Theorem 11): the generic algorithm
-// for k-hierarchical 3½-coloring on the Definition-18 lower-bound graph with
-// ℓ_i = T^{2^{i-1}}, swept over the scale T (the stand-in for
-// t = (log* n)^{1/(2^k−1)}; see substitution 5 in DESIGN.md). The measured
-// node-averaged complexity must scale like Θ(T), i.e. slope 1 in T.
-func Hierarchical35(ctx context.Context, k int, scales []int, seed uint64) (*SweepResult, error) {
-	res := &SweepResult{TheorySlope: 1, TheoryUpper: 1}
-	res.Table.Header = []string{"T", "n", "node-avg rounds", "node-avg / T"}
-	for _, T := range scales {
+// sweepPoint is one completed sweep value: the point entering the log-log
+// fit plus its table row cells.
+type sweepPoint struct {
+	pt  measure.Point
+	row []any
+}
+
+// sweepSpec is the decomposed form of a scaling sweep: the analytic
+// constants resolved once per run, and one independent point function per
+// sweep value. Point functions must be pure up to their (val, seed) inputs —
+// no point may observe another point's execution — which is what makes them
+// schedulable in any order.
+type sweepSpec struct {
+	header      []string
+	title       string
+	xName       string
+	theorySlope float64
+	theoryUpper float64
+	// key names the shared-provider instance the point will request
+	// (informational: task labels, scheduling logs); nil when untracked.
+	key func(val int) string
+	// point runs one sweep value under the point seed derived via
+	// PointSeed from the run's base seed.
+	point func(ctx context.Context, val int, seed uint64, parallelism int) (sweepPoint, error)
+}
+
+// assemble combines completed points — in canonical sweep order — into the
+// fitted SweepResult. Both the serial path and the task planner funnel
+// through here, so their outputs are identical.
+func (s *sweepSpec) assemble(points []sweepPoint) *SweepResult {
+	res := &SweepResult{TheorySlope: s.theorySlope, TheoryUpper: s.theoryUpper}
+	res.Table.Header = s.header
+	for _, p := range points {
+		res.Points = append(res.Points, p.pt)
+		res.Table.AddRow(p.row...)
+	}
+	res.finish(s.title, s.xName)
+	return res
+}
+
+// runSerial executes the sweep's points in order on the calling goroutine —
+// the legacy driver behavior, also used by Experiment.Run.
+func (s *sweepSpec) runSerial(ctx context.Context, vals []int, seed uint64, parallelism int) (*SweepResult, error) {
+	points := make([]sweepPoint, 0, len(vals))
+	for _, val := range vals {
 		if err := sweepStep(ctx); err != nil {
 			return nil, err
 		}
-		lengths := make([]int, k)
-		gammas := make([]int, k-1)
-		for i := 1; i <= k; i++ {
-			lengths[i-1] = ipow(T, 1<<uint(i-1))
-		}
-		for i := 1; i < k; i++ {
-			gammas[i-1] = ipow(T, 1<<uint(i-1))
-		}
-		h, err := instances.Hierarchical(lengths)
+		p, err := s.point(ctx, val, PointSeed(seed, val), parallelism)
 		if err != nil {
 			return nil, err
 		}
-		sched, err := hierarchy.NewSchedule(hierarchy.Params{
-			Problem: hierarchy.Problem{K: k, Variant: hierarchy.Coloring35},
-			Gammas:  gammas,
-		})
-		if err != nil {
-			return nil, err
-		}
-		levels := graph.ComputeLevels(h.Tree, k)
-		ids := sim.DefaultIDs(h.Tree.N(), seed+uint64(T))
-		ex, err := hierarchy.RunAnalytic(h.Tree, levels, sched, ids)
-		if err != nil {
-			return nil, err
-		}
-		if err := (hierarchy.Problem{K: k, Variant: hierarchy.Coloring35}).Verify(h.Tree, levels, ex.Out); err != nil {
-			return nil, fmt.Errorf("T=%d: %w", T, err)
-		}
-		avg := ex.NodeAveraged()
-		res.Points = append(res.Points, measure.Point{X: float64(T), Y: avg})
-		res.Table.AddRow(T, h.Tree.N(), avg, avg/float64(T))
+		points = append(points, p)
 	}
-	res.finish(fmt.Sprintf("E-T11: k=%d hierarchical 3½-coloring, node-avg ~ Θ(T)", k), "T")
-	return res, nil
+	return s.assemble(points), nil
 }
 
-// Weighted25 runs experiment E-T2T3 (Theorems 2-3): A_poly on the
+// hierLengths is the Definition-18 path-length vector ℓ_i = T^{2^{i-1}}.
+func hierLengths(k, T int) []int {
+	lengths := make([]int, k)
+	for i := 1; i <= k; i++ {
+		lengths[i-1] = ipow(T, 1<<uint(i-1))
+	}
+	return lengths
+}
+
+// hierarchical35Spec declares experiment E-T11 (Theorem 11): the generic
+// algorithm for k-hierarchical 3½-coloring on the Definition-18 lower-bound
+// graph with ℓ_i = T^{2^{i-1}}, swept over the scale T (the stand-in for
+// t = (log* n)^{1/(2^k−1)}; see substitution 5 in DESIGN.md). The measured
+// node-averaged complexity must scale like Θ(T), i.e. slope 1 in T.
+func hierarchical35Spec(k int) *sweepSpec {
+	return &sweepSpec{
+		header:      []string{"T", "n", "node-avg rounds", "node-avg / T"},
+		title:       fmt.Sprintf("E-T11: k=%d hierarchical 3½-coloring, node-avg ~ Θ(T)", k),
+		xName:       "T",
+		theorySlope: 1,
+		theoryUpper: 1,
+		key:         func(T int) string { return inst.HierarchicalKey(hierLengths(k, T)).String() },
+		point: func(ctx context.Context, T int, seed uint64, _ int) (sweepPoint, error) {
+			gammas := make([]int, k-1)
+			for i := 1; i < k; i++ {
+				gammas[i-1] = ipow(T, 1<<uint(i-1))
+			}
+			h, err := instances.Hierarchical(hierLengths(k, T))
+			if err != nil {
+				return sweepPoint{}, err
+			}
+			sched, err := hierarchy.NewSchedule(hierarchy.Params{
+				Problem: hierarchy.Problem{K: k, Variant: hierarchy.Coloring35},
+				Gammas:  gammas,
+			})
+			if err != nil {
+				return sweepPoint{}, err
+			}
+			levels := graph.ComputeLevels(h.Tree, k)
+			ids := sim.DefaultIDs(h.Tree.N(), seed)
+			ex, err := hierarchy.RunAnalytic(h.Tree, levels, sched, ids)
+			if err != nil {
+				return sweepPoint{}, err
+			}
+			if err := (hierarchy.Problem{K: k, Variant: hierarchy.Coloring35}).Verify(h.Tree, levels, ex.Out); err != nil {
+				return sweepPoint{}, fmt.Errorf("T=%d: %w", T, err)
+			}
+			avg := ex.NodeAveraged()
+			return sweepPoint{
+				pt:  measure.Point{X: float64(T), Y: avg},
+				row: []any{T, h.Tree.N(), avg, avg / float64(T)},
+			}, nil
+		},
+	}
+}
+
+// Hierarchical35 runs experiment E-T11 serially (the legacy driver API).
+func Hierarchical35(ctx context.Context, k int, scales []int, seed uint64) (*SweepResult, error) {
+	return hierarchical35Spec(k).runSerial(ctx, scales, seed, 1)
+}
+
+// weighted25Spec declares experiment E-T2T3 (Theorems 2-3): A_poly on the
 // Definition-25 construction, swept over n; slope vs n must match
 // α1(x) = 1/Σ_{j<k}(2−x)^j.
-func Weighted25(ctx context.Context, delta, d, k int, sizes []int, seed uint64) (*SweepResult, error) {
+func weighted25Spec(delta, d, k int) (*sweepSpec, error) {
 	p := weighted.Problem{Variant: hierarchy.Coloring25, Delta: delta, D: d, K: k}
 	x, err := landscape.EfficiencyX(delta, d)
 	if err != nil {
@@ -133,52 +206,63 @@ func Weighted25(ctx context.Context, delta, d, k int, sizes []int, seed uint64) 
 	if err != nil {
 		return nil, err
 	}
-	res := &SweepResult{TheorySlope: alpha1, TheoryUpper: alpha1}
-	res.Table.Header = []string{"n (target)", "node-avg rounds", "waiting node-avg", "waiting / n^α1"}
-	for _, target := range sizes {
-		if err := sweepStep(ctx); err != nil {
-			return nil, err
-		}
-		lengths, err := polyLengths(target, k, alphas)
-		if err != nil {
-			return nil, err
-		}
-		inst, err := weighted.BuildInstance(p, lengths, target/k)
-		if err != nil {
-			return nil, err
-		}
-		ids := sim.DefaultIDs(inst.Tree.N(), seed+uint64(target))
-		sol, err := weighted.SolvePoly(inst.Tree, inst.Inputs, p, ids)
-		if err != nil {
-			return nil, err
-		}
-		if err := p.Verify(inst.Tree, inst.Inputs, sol.Out); err != nil {
-			return nil, fmt.Errorf("n=%d: %w", target, err)
-		}
-		n := float64(inst.Tree.N())
-		avg := sol.NodeAveraged()
-		// Theorem 2's accounting: weight nodes that output Connect or
-		// Decline cost only the O(log n) ball collection and are excluded
-		// from the leading term ("their contribution does not exceed the
-		// targeted node-averaged complexity"). The waiting average isolates
-		// the Θ(n^α1) term, which numerically dominates only for n >> 10^9.
-		var waitSum int64
-		for v, o := range sol.Out {
-			if o.Kind == weighted.KindActive || o.Kind == weighted.KindCopy {
-				waitSum += int64(sol.Rounds[v])
+	return &sweepSpec{
+		header:      []string{"n (target)", "node-avg rounds", "waiting node-avg", "waiting / n^α1"},
+		title:       fmt.Sprintf("E-T2T3: Π^2.5_{Δ=%d,d=%d,k=%d}, node-avg ~ Θ(n^%.4f)", delta, d, k, alpha1),
+		xName:       "n",
+		theorySlope: alpha1,
+		theoryUpper: alpha1,
+		key: func(target int) string {
+			return inst.WeightedKey(p, polyLengths(target, k, alphas), target/k).String()
+		},
+		point: func(ctx context.Context, target int, seed uint64, _ int) (sweepPoint, error) {
+			in, err := instances.Weighted(p, polyLengths(target, k, alphas), target/k)
+			if err != nil {
+				return sweepPoint{}, err
 			}
-		}
-		waiting := float64(waitSum) / n
-		res.Points = append(res.Points, measure.Point{X: n, Y: waiting})
-		res.Table.AddRow(target, avg, waiting, waiting/math.Pow(n, alpha1))
+			ids := sim.DefaultIDs(in.Tree.N(), seed)
+			sol, err := weighted.SolvePoly(in.Tree, in.Inputs, p, ids)
+			if err != nil {
+				return sweepPoint{}, err
+			}
+			if err := p.Verify(in.Tree, in.Inputs, sol.Out); err != nil {
+				return sweepPoint{}, fmt.Errorf("n=%d: %w", target, err)
+			}
+			n := float64(in.Tree.N())
+			avg := sol.NodeAveraged()
+			// Theorem 2's accounting: weight nodes that output Connect or
+			// Decline cost only the O(log n) ball collection and are excluded
+			// from the leading term ("their contribution does not exceed the
+			// targeted node-averaged complexity"). The waiting average isolates
+			// the Θ(n^α1) term, which numerically dominates only for n >> 10^9.
+			var waitSum int64
+			for v, o := range sol.Out {
+				if o.Kind == weighted.KindActive || o.Kind == weighted.KindCopy {
+					waitSum += int64(sol.Rounds[v])
+				}
+			}
+			waiting := float64(waitSum) / n
+			return sweepPoint{
+				pt:  measure.Point{X: n, Y: waiting},
+				row: []any{target, avg, waiting, waiting / math.Pow(n, alpha1)},
+			}, nil
+		},
+	}, nil
+}
+
+// Weighted25 runs experiment E-T2T3 serially (the legacy driver API).
+func Weighted25(ctx context.Context, delta, d, k int, sizes []int, seed uint64) (*SweepResult, error) {
+	s, err := weighted25Spec(delta, d, k)
+	if err != nil {
+		return nil, err
 	}
-	res.finish(fmt.Sprintf("E-T2T3: Π^2.5_{Δ=%d,d=%d,k=%d}, node-avg ~ Θ(n^%.4f)", delta, d, k, alpha1), "n")
-	return res, nil
+	return s.runSerial(ctx, sizes, seed, 1)
 }
 
 // polyLengths derives the Definition-25 path lengths ℓ_i = (n')^{α_i} for
-// i < k and ℓ_k = n' / Π ℓ_i (with n' = n/k).
-func polyLengths(target, k int, alphas []float64) ([]int, error) {
+// i < k and ℓ_k = n' / Π ℓ_i (with n' = n/k). Degenerate targets clamp to
+// the minimum legal lengths, so derivation never fails.
+func polyLengths(target, k int, alphas []float64) []int {
 	nPrime := float64(target) / float64(k)
 	lengths := make([]int, k)
 	prod := 1
@@ -195,14 +279,14 @@ func polyLengths(target, k int, alphas []float64) ([]int, error) {
 		last = 2
 	}
 	lengths[k-1] = last
-	return lengths, nil
+	return lengths
 }
 
-// Weighted35 runs experiment E-T4T5 (Theorems 4-5): the Section 8.2
-// algorithm for Π^{3.5}_{Δ,d,k} swept over the scale T (the log* n stand-in);
-// the fitted slope must land between α1(x) (lower bound) and α1(x′)
-// (upper bound).
-func Weighted35(ctx context.Context, delta, d, k int, scales []int, weightFactor int, seed uint64) (*SweepResult, error) {
+// weighted35Spec declares experiment E-T4T5 (Theorems 4-5): the Section 8.2
+// algorithm for Π^{3.5}_{Δ,d,k} swept over the scale T (the log* n
+// stand-in); the fitted slope must land between α1(x) (lower bound) and
+// α1(x′) (upper bound).
+func weighted35Spec(delta, d, k, weightFactor int) (*sweepSpec, error) {
 	p := weighted.Problem{Variant: hierarchy.Coloring35, Delta: delta, D: d, K: k}
 	x, err := landscape.EfficiencyX(delta, d)
 	if err != nil {
@@ -227,12 +311,7 @@ func Weighted35(ctx context.Context, delta, d, k int, scales []int, weightFactor
 	if err != nil {
 		return nil, err
 	}
-	res := &SweepResult{TheorySlope: lower, TheoryUpper: upper}
-	res.Table.Header = []string{"T", "n", "node-avg rounds", "node-avg / T^α1(x')"}
-	for _, T := range scales {
-		if err := sweepStep(ctx); err != nil {
-			return nil, err
-		}
+	lengthsOf := func(T int) []int {
 		lengths := make([]int, k)
 		for i := 0; i < k-1; i++ {
 			lengths[i] = maxi(2, int(math.Pow(float64(T), alphas[i])))
@@ -241,133 +320,191 @@ func Weighted35(ctx context.Context, delta, d, k int, scales []int, weightFactor
 		// in the sweep the level-k contribution is dominated — DESIGN.md,
 		// substitution 5).
 		lengths[k-1] = maxi(4, int(math.Pow(float64(T), alphas[k-2]*(2-xPrime))))
-		total := graph.HierarchicalSize(lengths) * weightFactor
-		inst, err := weighted.BuildInstance(p, lengths, total/k)
-		if err != nil {
-			return nil, err
-		}
-		ids := sim.DefaultIDs(inst.Tree.N(), seed+uint64(T))
-		sol, err := weighted.SolveLogStar(inst.Tree, inst.Inputs, p, ids, T)
-		if err != nil {
-			return nil, err
-		}
-		if err := p.Verify(inst.Tree, inst.Inputs, sol.Out); err != nil {
-			return nil, fmt.Errorf("T=%d: %w", T, err)
-		}
-		avg := sol.NodeAveraged()
-		res.Points = append(res.Points, measure.Point{X: float64(T), Y: avg})
-		res.Table.AddRow(T, inst.Tree.N(), avg, avg/math.Pow(float64(T), upper))
+		return lengths
 	}
-	res.finish(fmt.Sprintf("E-T4T5: Π^3.5_{Δ=%d,d=%d,k=%d}, slope in [α1(x)=%.4f, α1(x')=%.4f]",
-		delta, d, k, lower, upper), "T")
-	return res, nil
+	return &sweepSpec{
+		header:      []string{"T", "n", "node-avg rounds", "node-avg / T^α1(x')"},
+		title:       fmt.Sprintf("E-T4T5: Π^3.5_{Δ=%d,d=%d,k=%d}, slope in [α1(x)=%.4f, α1(x')=%.4f]", delta, d, k, lower, upper),
+		xName:       "T",
+		theorySlope: lower,
+		theoryUpper: upper,
+		key: func(T int) string {
+			lengths := lengthsOf(T)
+			total := graph.HierarchicalSize(lengths) * weightFactor
+			return inst.WeightedKey(p, lengths, total/k).String()
+		},
+		point: func(ctx context.Context, T int, seed uint64, _ int) (sweepPoint, error) {
+			lengths := lengthsOf(T)
+			total := graph.HierarchicalSize(lengths) * weightFactor
+			in, err := instances.Weighted(p, lengths, total/k)
+			if err != nil {
+				return sweepPoint{}, err
+			}
+			ids := sim.DefaultIDs(in.Tree.N(), seed)
+			sol, err := weighted.SolveLogStar(in.Tree, in.Inputs, p, ids, T)
+			if err != nil {
+				return sweepPoint{}, err
+			}
+			if err := p.Verify(in.Tree, in.Inputs, sol.Out); err != nil {
+				return sweepPoint{}, fmt.Errorf("T=%d: %w", T, err)
+			}
+			avg := sol.NodeAveraged()
+			return sweepPoint{
+				pt:  measure.Point{X: float64(T), Y: avg},
+				row: []any{T, in.Tree.N(), avg, avg / math.Pow(float64(T), upper)},
+			}, nil
+		},
+	}, nil
 }
 
-// WeightAugmented runs experiment E-L68 (Lemmas 68-69): the weight-augmented
-// 2½-coloring with node-averaged complexity Θ(n^{1/k}).
-func WeightAugmented(ctx context.Context, k, delta int, sizes []int, seed uint64) (*SweepResult, error) {
-	res := &SweepResult{TheorySlope: 1 / float64(k), TheoryUpper: 1 / float64(k)}
-	res.Table.Header = []string{"n (target)", "n (built)", "node-avg rounds", "node-avg / n^(1/k)"}
-	for _, target := range sizes {
-		if err := sweepStep(ctx); err != nil {
-			return nil, err
-		}
+// Weighted35 runs experiment E-T4T5 serially (the legacy driver API).
+func Weighted35(ctx context.Context, delta, d, k int, scales []int, weightFactor int, seed uint64) (*SweepResult, error) {
+	s, err := weighted35Spec(delta, d, k, weightFactor)
+	if err != nil {
+		return nil, err
+	}
+	return s.runSerial(ctx, scales, seed, 1)
+}
+
+// weightAugmentedSpec declares experiment E-L68 (Lemmas 68-69): the
+// weight-augmented 2½-coloring with node-averaged complexity Θ(n^{1/k}).
+func weightAugmentedSpec(k, delta int) *sweepSpec {
+	lengthsOf := func(target int) []int {
 		side := maxi(2, int(math.Pow(float64(target)/float64(k), 1/float64(k))))
 		lengths := make([]int, k)
 		for i := range lengths {
 			lengths[i] = side
 		}
-		inst, err := labeling.BuildAugInstance(k, delta, lengths, target/k)
-		if err != nil {
-			return nil, err
-		}
-		ids := sim.DefaultIDs(inst.Tree.N(), seed+uint64(target))
-		sol, err := labeling.SolveAug(inst.Tree, inst.Weight, k, ids)
-		if err != nil {
-			return nil, err
-		}
-		if err := labeling.VerifyAug(inst.Tree, inst.Weight, k, sol.Out); err != nil {
-			return nil, fmt.Errorf("n=%d: %w", target, err)
-		}
-		n := float64(inst.Tree.N())
-		avg := sol.NodeAveraged()
-		res.Points = append(res.Points, measure.Point{X: n, Y: avg})
-		res.Table.AddRow(target, inst.Tree.N(), avg, avg/math.Pow(n, 1/float64(k)))
+		return lengths
 	}
-	res.finish(fmt.Sprintf("E-L68: weight-augmented 2½ (k=%d), node-avg ~ Θ(n^{1/%d})", k, k), "n")
-	return res, nil
+	return &sweepSpec{
+		header:      []string{"n (target)", "n (built)", "node-avg rounds", "node-avg / n^(1/k)"},
+		title:       fmt.Sprintf("E-L68: weight-augmented 2½ (k=%d), node-avg ~ Θ(n^{1/%d})", k, k),
+		xName:       "n",
+		theorySlope: 1 / float64(k),
+		theoryUpper: 1 / float64(k),
+		key: func(target int) string {
+			return inst.AugKey(k, delta, lengthsOf(target), target/k).String()
+		},
+		point: func(ctx context.Context, target int, seed uint64, _ int) (sweepPoint, error) {
+			in, err := instances.Aug(k, delta, lengthsOf(target), target/k)
+			if err != nil {
+				return sweepPoint{}, err
+			}
+			ids := sim.DefaultIDs(in.Tree.N(), seed)
+			sol, err := labeling.SolveAug(in.Tree, in.Weight, k, ids)
+			if err != nil {
+				return sweepPoint{}, err
+			}
+			if err := labeling.VerifyAug(in.Tree, in.Weight, k, sol.Out); err != nil {
+				return sweepPoint{}, fmt.Errorf("n=%d: %w", target, err)
+			}
+			n := float64(in.Tree.N())
+			avg := sol.NodeAveraged()
+			return sweepPoint{
+				pt:  measure.Point{X: n, Y: avg},
+				row: []any{target, in.Tree.N(), avg, avg / math.Pow(n, 1/float64(k))},
+			}, nil
+		},
+	}
 }
 
-// TwoColoringGap runs experiment E-C60 (Corollary 60): 2-coloring a path has
-// node-averaged complexity Θ(n) (slope 1), witnessing the ω(√n)–o(n) gap.
-// This one runs through the real message-passing simulator; parallelism sets
-// the engine's worker count (the result is identical at every level).
+// WeightAugmented runs experiment E-L68 serially (the legacy driver API).
+func WeightAugmented(ctx context.Context, k, delta int, sizes []int, seed uint64) (*SweepResult, error) {
+	return weightAugmentedSpec(k, delta).runSerial(ctx, sizes, seed, 1)
+}
+
+// twoColoringGapSpec declares experiment E-C60 (Corollary 60): 2-coloring a
+// path has node-averaged complexity Θ(n) (slope 1), witnessing the
+// ω(√n)–o(n) gap. This one runs through the real message-passing simulator;
+// parallelism sets the engine's worker count (the result is identical at
+// every level).
+func twoColoringGapSpec() *sweepSpec {
+	return &sweepSpec{
+		header:      []string{"n", "node-avg rounds", "node-avg / n", ""},
+		title:       "E-C60: 2-coloring a path, node-avg ~ Θ(n)",
+		xName:       "n",
+		theorySlope: 1,
+		theoryUpper: 1,
+		key:         func(n int) string { return inst.PathKey(n).String() },
+		point: func(ctx context.Context, n int, seed uint64, parallelism int) (sweepPoint, error) {
+			tr, err := instances.Path(n)
+			if err != nil {
+				return sweepPoint{}, err
+			}
+			r, err := sim.NewEngine(
+				sim.WithIDs(sim.DefaultIDs(n, seed)),
+				sim.WithContext(ctx),
+				sim.WithParallelism(parallelism),
+			).Run(tr, coloring.TwoColorPathAlgorithm{})
+			if err != nil {
+				return sweepPoint{}, err
+			}
+			avg := r.NodeAveraged()
+			return sweepPoint{
+				pt:  measure.Point{X: float64(n), Y: avg},
+				row: []any{n, avg, avg / float64(n), ""},
+			}, nil
+		},
+	}
+}
+
+// TwoColoringGap runs experiment E-C60 serially (the legacy driver API).
 func TwoColoringGap(ctx context.Context, sizes []int, seed uint64, parallelism int) (*SweepResult, error) {
-	res := &SweepResult{TheorySlope: 1, TheoryUpper: 1}
-	res.Table.Header = []string{"n", "node-avg rounds", "node-avg / n", ""}
-	for _, n := range sizes {
-		if err := sweepStep(ctx); err != nil {
-			return nil, err
-		}
-		tr, err := instances.Path(n)
-		if err != nil {
-			return nil, err
-		}
-		r, err := sim.NewEngine(
-			sim.WithIDs(sim.DefaultIDs(n, seed+uint64(n))),
-			sim.WithContext(ctx),
-			sim.WithParallelism(parallelism),
-		).Run(tr, coloring.TwoColorPathAlgorithm{})
-		if err != nil {
-			return nil, err
-		}
-		avg := r.NodeAveraged()
-		res.Points = append(res.Points, measure.Point{X: float64(n), Y: avg})
-		res.Table.AddRow(n, avg, avg/float64(n), "")
-	}
-	res.finish("E-C60: 2-coloring a path, node-avg ~ Θ(n)", "n")
-	return res, nil
+	return twoColoringGapSpec().runSerial(ctx, sizes, seed, parallelism)
 }
 
-// CopyFraction runs experiment E-L40 (Lemma 40): the Copy-set size of
-// Algorithm 𝒜 on a balanced Δ-regular weight tree scales like w^x with
+// copyFractionSpec declares experiment E-L40 (Lemma 40): the Copy-set size
+// of Algorithm 𝒜 on a balanced Δ-regular weight tree scales like w^x with
 // x = log(Δ−1−d)/log(Δ−1).
-func CopyFraction(ctx context.Context, delta, d int, sizes []int) (*SweepResult, error) {
+func copyFractionSpec(delta, d int) (*sweepSpec, error) {
 	x, err := landscape.EfficiencyX(delta, d)
 	if err != nil {
 		return nil, err
 	}
-	res := &SweepResult{TheorySlope: x, TheoryUpper: x}
-	res.Table.Header = []string{"w", "copies", "copies / w^x", "bound 6·w^x"}
-	for _, w := range sizes {
-		if err := sweepStep(ctx); err != nil {
-			return nil, err
-		}
-		tr, err := instances.Balanced(delta, w)
-		if err != nil {
-			return nil, err
-		}
-		inputs := make([]dfree.Input, w)
-		inputs[0] = dfree.InputA
-		sol, err := dfree.Solve(tr, inputs, d)
-		if err != nil {
-			return nil, err
-		}
-		if err := dfree.Verify(tr, inputs, d, sol.Out); err != nil {
-			return nil, err
-		}
-		copies := 0
-		for _, o := range sol.Out {
-			if o == dfree.OutCopy {
-				copies++
+	return &sweepSpec{
+		header:      []string{"w", "copies", "copies / w^x", "bound 6·w^x"},
+		title:       fmt.Sprintf("E-L40: Copy-set of Algorithm 𝒜 (Δ=%d, d=%d), size ~ w^%.4f", delta, d, x),
+		xName:       "w",
+		theorySlope: x,
+		theoryUpper: x,
+		key:         func(w int) string { return inst.BalancedKey(delta, w).String() },
+		point: func(ctx context.Context, w int, _ uint64, _ int) (sweepPoint, error) {
+			tr, err := instances.Balanced(delta, w)
+			if err != nil {
+				return sweepPoint{}, err
 			}
-		}
-		wx := math.Pow(float64(w), x)
-		res.Points = append(res.Points, measure.Point{X: float64(w), Y: float64(copies)})
-		res.Table.AddRow(w, copies, float64(copies)/wx, 6*wx)
+			inputs := make([]dfree.Input, w)
+			inputs[0] = dfree.InputA
+			sol, err := dfree.Solve(tr, inputs, d)
+			if err != nil {
+				return sweepPoint{}, err
+			}
+			if err := dfree.Verify(tr, inputs, d, sol.Out); err != nil {
+				return sweepPoint{}, err
+			}
+			copies := 0
+			for _, o := range sol.Out {
+				if o == dfree.OutCopy {
+					copies++
+				}
+			}
+			wx := math.Pow(float64(w), x)
+			return sweepPoint{
+				pt:  measure.Point{X: float64(w), Y: float64(copies)},
+				row: []any{w, copies, float64(copies) / wx, 6 * wx},
+			}, nil
+		},
+	}, nil
+}
+
+// CopyFraction runs experiment E-L40 serially (the legacy driver API).
+func CopyFraction(ctx context.Context, delta, d int, sizes []int) (*SweepResult, error) {
+	s, err := copyFractionSpec(delta, d)
+	if err != nil {
+		return nil, err
 	}
-	res.finish(fmt.Sprintf("E-L40: Copy-set of Algorithm 𝒜 (Δ=%d, d=%d), size ~ w^%.4f", delta, d, x), "w")
-	return res, nil
+	return s.runSerial(ctx, sizes, 0, 1)
 }
 
 // DensityPoly runs experiment E-T1 (Theorem 1): for a list of target

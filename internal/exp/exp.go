@@ -16,6 +16,7 @@ package exp
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/measure"
@@ -61,6 +62,12 @@ type Experiment struct {
 	// Run executes the experiment. Implementations honor ctx between sweep
 	// points and return an error wrapping ctx.Err() on cancellation.
 	Run func(ctx context.Context, cfg RunConfig) (*Result, error)
+	// Plan, when non-nil, decomposes a run into independently schedulable
+	// sweep-point tasks; RunBatch schedules tasks, not whole experiments.
+	// Nil means the experiment is a single unit and RunBatch wraps Run.
+	// Run and Plan must produce identical canonical results for the same
+	// RunConfig, regardless of how the plan's tasks are scheduled.
+	Plan func(cfg RunConfig) (*TaskPlan, error)
 }
 
 // Result is the JSON-native outcome of one experiment run.
@@ -126,9 +133,27 @@ func (e *Experiment) newResult(cfg RunConfig, preset string, sizes []int, starte
 	}
 }
 
-// sweepExperiment wraps a scaling-sweep driver as a registered Experiment.
+// sweepResultOf stamps a finished SweepResult into the JSON-native Result.
+func (e *Experiment) sweepResultOf(cfg RunConfig, preset string, sizes []int, started time.Time, sr *SweepResult) *Result {
+	res := e.newResult(cfg, preset, sizes, started)
+	res.Tables = []measure.Table{sr.Table}
+	res.Fit = &Fit{
+		Slope:       sr.Slope,
+		TheorySlope: sr.TheorySlope,
+		TheoryUpper: sr.TheoryUpper,
+		Points:      sr.Points,
+	}
+	return res
+}
+
+// sweepExperiment wraps a decomposable scaling sweep as a registered
+// Experiment. The spec constructor resolves the sweep's analytic constants
+// (it may fail on invalid parameters); both execution paths are built from
+// the same spec — Run executes the points serially, Plan exposes them as
+// independently schedulable tasks — so they produce identical canonical
+// results.
 func sweepExperiment(name, description, theory string, presets map[string][]int, seed uint64,
-	driver func(ctx context.Context, sizes []int, seed uint64, parallelism int) (*SweepResult, error)) *Experiment {
+	spec func() (*sweepSpec, error)) *Experiment {
 	e := &Experiment{
 		Name:        name,
 		Description: description,
@@ -144,20 +169,73 @@ func sweepExperiment(name, description, theory string, presets map[string][]int,
 		if err != nil {
 			return nil, err
 		}
-		started := time.Now()
-		sr, err := driver(ctx, sizes, e.seedFor(cfg), cfg.Parallelism)
+		s, err := spec()
 		if err != nil {
 			return nil, fmt.Errorf("exp: %s: %w", e.Name, err)
 		}
-		res := e.newResult(cfg, preset, sizes, started)
-		res.Tables = []measure.Table{sr.Table}
-		res.Fit = &Fit{
-			Slope:       sr.Slope,
-			TheorySlope: sr.TheorySlope,
-			TheoryUpper: sr.TheoryUpper,
-			Points:      sr.Points,
+		started := time.Now()
+		sr, err := s.runSerial(ctx, sizes, e.seedFor(cfg), cfg.Parallelism)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", e.Name, err)
 		}
-		return res, nil
+		return e.sweepResultOf(cfg, preset, sizes, started, sr), nil
+	}
+	e.Plan = func(cfg RunConfig) (*TaskPlan, error) {
+		sizes, preset, err := e.sizesFor(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s, err := spec()
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", e.Name, err)
+		}
+		base := e.seedFor(cfg)
+		// The elapsed clock starts when the experiment's first task actually
+		// runs, not when the plan is derived — RunBatch derives every plan up
+		// front, and queue wait is not this experiment's runtime. (ElapsedMS
+		// then spans first task start to assembly: the experiment's wall
+		// clock under whatever concurrency it was scheduled with.)
+		started := time.Now() // fallback for empty sweeps
+		var startedOnce sync.Once
+		tasks := make([]Task, len(sizes))
+		for i, val := range sizes {
+			val := val
+			pseed := PointSeed(base, val)
+			var key string
+			if s.key != nil {
+				key = s.key(val)
+			}
+			tasks[i] = Task{
+				Label:       fmt.Sprintf("%s %s=%d", e.Name, s.xName, val),
+				Seed:        pseed,
+				InstanceKey: key,
+				Run: func(ctx context.Context) (any, error) {
+					startedOnce.Do(func() { started = time.Now() })
+					if err := sweepStep(ctx); err != nil {
+						return nil, err
+					}
+					p, err := s.point(ctx, val, pseed, cfg.Parallelism)
+					if err != nil {
+						return nil, fmt.Errorf("exp: %s: %w", e.Name, err)
+					}
+					return p, nil
+				},
+			}
+		}
+		return &TaskPlan{
+			Tasks: tasks,
+			Assemble: func(outs []any) (*Result, error) {
+				points := make([]sweepPoint, len(outs))
+				for i, o := range outs {
+					p, ok := o.(sweepPoint)
+					if !ok {
+						return nil, fmt.Errorf("exp: %s: task %d output is %T, not a sweep point", e.Name, i, o)
+					}
+					points[i] = p
+				}
+				return e.sweepResultOf(cfg, preset, sizes, started, s.assemble(points)), nil
+			},
+		}, nil
 	}
 	return e
 }

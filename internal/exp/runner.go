@@ -1,8 +1,11 @@
 package exp
 
-// The batch runner: executes a set of registered experiments across a
-// bounded worker pool, streams results as they finish, and returns a
-// deterministic aggregate regardless of completion order.
+// The batch runner: decomposes every experiment into its task plan (one
+// task per sweep point for decomposable sweeps), schedules *tasks* across a
+// bounded worker pool, streams each experiment's result as its last task
+// finishes, and reassembles a deterministic aggregate regardless of
+// completion order. Scheduling below experiment granularity is what lets
+// -jobs flatten a batch whose serial time is dominated by one long sweep.
 
 import (
 	"context"
@@ -11,53 +14,76 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // BatchOptions parameterizes RunBatch.
 type BatchOptions struct {
-	// Jobs is the maximum number of experiments executing concurrently;
-	// values <= 1 run serially. Simulator-internal parallelism
-	// (RunConfig.Parallelism) composes multiplicatively with Jobs.
+	// Jobs is the maximum number of tasks executing concurrently; values
+	// <= 1 run serially. Tasks are sweep points, so Jobs > 1 parallelizes
+	// inside a single experiment's sweep as well as across experiments.
+	// Simulator-internal parallelism (RunConfig.Parallelism) composes
+	// multiplicatively with Jobs.
 	Jobs int
 	// Config is the per-experiment run configuration (preset, seed,
 	// simulator parallelism), shared by every experiment in the batch.
 	Config RunConfig
 	// Stream, when non-nil, receives each Result as one compact JSON line
-	// (NDJSON) the moment its experiment finishes — in completion order,
-	// which under Jobs > 1 differs run to run. The aggregate return value
-	// stays ordered by input position either way.
+	// (NDJSON) the moment its experiment's last task finishes — in
+	// completion order, which under Jobs > 1 differs run to run. The
+	// aggregate return value stays ordered by input position either way.
 	Stream io.Writer
 }
 
 // RunBatch executes exps under opts and returns their results ordered by
 // input position (registry order when the slice came from List), regardless
-// of completion order. Each experiment runs under its own context derived
-// from ctx; the first failure cancels the remaining experiments, and the
-// returned error joins every failure observed before the batch drained.
-// A nil result slice is returned on any error.
+// of completion order. Each experiment is decomposed into its task plan;
+// every task runs under its own context derived from ctx, the first failure
+// cancels all remaining tasks, and each experiment's outputs are reassembled
+// in canonical task order — so the aggregate is byte-identical (canonically)
+// to the serial run, whatever the scheduling. The returned error joins every
+// failure observed before the batch drained; a nil result slice is returned
+// on any error.
 func RunBatch(ctx context.Context, exps []*Experiment, opts BatchOptions) ([]*Result, error) {
 	for i, e := range exps {
 		if e == nil || e.Run == nil {
 			return nil, fmt.Errorf("exp: batch position %d: experiment is nil or has no Run", i)
 		}
 	}
+	// Derive every plan up front: plan derivation is analytic (preset
+	// resolution, exponent math), so a bad configuration fails before any
+	// work is scheduled.
+	plans := make([]*TaskPlan, len(exps))
+	total := 0
+	for i, e := range exps {
+		p, err := e.plan(opts.Config)
+		if err != nil {
+			return nil, err
+		}
+		plans[i] = p
+		total += len(p.Tasks)
+	}
 	jobs := opts.Jobs
 	if jobs < 1 {
 		jobs = 1
 	}
-	if jobs > len(exps) {
-		jobs = len(exps)
+	if jobs > total {
+		jobs = total
 	}
+	if jobs < 1 {
+		jobs = 1 // every plan is empty; keep the pool valid
+	}
+
 	bctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex // guards the error slices and Stream writes
-		failures []error    // real failures
-		canceled []error    // cancellation fallout of the first real failure (or of ctx)
-		results  = make([]*Result, len(exps))
-		sem      = make(chan struct{}, jobs)
+		mu        sync.Mutex // guards the error slices and Stream writes
+		failures  []error    // real failures
+		canceled  []error    // cancellation fallout of the first real failure (or of ctx)
+		results   = make([]*Result, len(exps))
+		outs      = make([][]any, len(exps))
+		remaining = make([]int32, len(exps))
 	)
 	fail := func(err error) {
 		mu.Lock()
@@ -69,33 +95,67 @@ func RunBatch(ctx context.Context, exps []*Experiment, opts BatchOptions) ([]*Re
 		mu.Unlock()
 		cancel()
 	}
-	for i, e := range exps {
-		wg.Add(1)
-		go func(i int, e *Experiment) {
-			defer wg.Done()
-			select {
-			case sem <- struct{}{}:
-			case <-bctx.Done():
-				return // batch already failing; this experiment never started
-			}
-			defer func() { <-sem }()
-			ectx, ecancel := context.WithCancel(bctx)
-			defer ecancel()
-			res, err := e.Run(ectx, opts.Config)
+	// finish reassembles experiment i once its last task completed. Outputs
+	// are consumed by task position, so the result is independent of
+	// completion order; only the NDJSON stream reflects finish order.
+	finish := func(i int) {
+		res, err := plans[i].Assemble(outs[i])
+		if err != nil {
+			fail(fmt.Errorf("exp: %s: assemble: %w", exps[i].Name, err))
+			return
+		}
+		results[i] = res
+		if opts.Stream != nil {
+			mu.Lock()
+			err = json.NewEncoder(opts.Stream).Encode(res)
+			mu.Unlock()
 			if err != nil {
-				fail(err)
-				return
+				fail(fmt.Errorf("exp: %s: stream: %w", exps[i].Name, err))
 			}
-			results[i] = res
-			if opts.Stream != nil {
-				mu.Lock()
-				err = json.NewEncoder(opts.Stream).Encode(res)
-				mu.Unlock()
+		}
+	}
+
+	// The queue holds every task in canonical order (experiment position,
+	// then task position); workers drain it, skipping tasks once the batch
+	// is failing so cancellation stops remaining work promptly.
+	type unit struct{ exp, task int }
+	queue := make(chan unit, total)
+	for i, p := range plans {
+		outs[i] = make([]any, len(p.Tasks))
+		remaining[i] = int32(len(p.Tasks))
+		if len(p.Tasks) == 0 {
+			finish(i) // an empty sweep assembles immediately
+			continue
+		}
+		for j := range p.Tasks {
+			queue <- unit{i, j}
+		}
+	}
+	close(queue)
+
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range queue {
+				if bctx.Err() != nil {
+					continue // batch already failing; drain without running
+				}
+				t := &plans[u.exp].Tasks[u.task]
+				tctx, tcancel := context.WithCancel(bctx)
+				out, err := t.Run(tctx)
+				tcancel()
 				if err != nil {
-					fail(fmt.Errorf("exp: %s: stream: %w", e.Name, err))
+					fail(err)
+					continue
+				}
+				outs[u.exp][u.task] = out
+				if atomic.AddInt32(&remaining[u.exp], -1) == 0 {
+					finish(u.exp)
 				}
 			}
-		}(i, e)
+		}()
 	}
 	wg.Wait()
 	switch {
@@ -104,11 +164,11 @@ func RunBatch(ctx context.Context, exps []*Experiment, opts BatchOptions) ([]*Re
 	case len(canceled) > 0:
 		return nil, canceled[0]
 	}
-	// No experiment recorded an error, but a cancellation racing the final
-	// completions may have kept queued experiments from ever starting.
+	// No task recorded an error, but a cancellation racing the final
+	// completions may have kept queued tasks from ever starting.
 	for _, res := range results {
 		if res == nil {
-			return nil, fmt.Errorf("exp: batch canceled: %w", context.Cause(ctx))
+			return nil, fmt.Errorf("exp: batch canceled: %w", context.Cause(bctx))
 		}
 	}
 	return results, nil

@@ -1,0 +1,91 @@
+package exp
+
+// The sweep-task model: experiments decompose their runs into independently
+// schedulable units so RunBatch can spread one long sweep — not just whole
+// experiments — across the worker pool. The standard batch is critical-path
+// bound (weighted25-d5k3 alone is ~2/3 of the serial total); task-level
+// scheduling is what lets -jobs flatten it, and it is the layer a future
+// sharded/multi-process backend will schedule over.
+
+import (
+	"context"
+	"fmt"
+)
+
+// Task is one independently schedulable unit of an experiment run — a
+// single sweep point for decomposable sweeps, or the whole run for
+// experiments without a sweep axis. Tasks of one experiment must be
+// mutually independent: no task may read another task's output or depend on
+// execution order.
+type Task struct {
+	// Label identifies the task in logs and errors, e.g.
+	// "weighted25-d5k3 n=1024000".
+	Label string
+	// Seed is the point seed the task runs under (already derived via
+	// PointSeed; Run closes over it). Recorded so schedulers, logs, and
+	// tests can verify seed derivation without executing the task.
+	Seed uint64
+	// InstanceKey names the shared-provider instance the task will request
+	// (inst.Key.String()), or "" when the task builds no cached instance.
+	// Informational: it labels scheduling decisions and lets a future
+	// sharded backend route tasks with instance affinity.
+	InstanceKey string
+	// Run executes the unit under ctx and returns its partial output,
+	// consumed positionally by the plan's Assemble.
+	Run func(ctx context.Context) (any, error)
+}
+
+// TaskPlan is a decomposed experiment run: the independent tasks plus the
+// deterministic reassembly of their outputs.
+type TaskPlan struct {
+	// Tasks are the units, in canonical (sweep) order.
+	Tasks []Task
+	// Assemble combines the task outputs — indexed like Tasks — into the
+	// final result. It is called exactly once, after every task succeeded.
+	// Because outputs are consumed by task position, never by completion
+	// order, the assembled result is byte-identical no matter how the tasks
+	// were scheduled.
+	Assemble func(outs []any) (*Result, error)
+}
+
+// PointSeed derives the ID seed of one sweep point from the run's base seed
+// and the point's sweep value (n, T, w, or γ — whatever the experiment
+// sweeps). It is a pure function of (base, point); the base seed is itself a
+// pure function of the experiment and RunConfig (Experiment.seedFor), so a
+// point's IDs depend only on (experiment, preset, point) and never on
+// scheduling order, worker count, or which other points run.
+//
+// The splitmix64 finalizer decorrelates nearby inputs: the previous additive
+// derivation (base + point) collided whenever base₁+point₁ = base₂+point₂ —
+// e.g. the T=5 point of a seed-3 sweep and the T=4 point of a seed-4 sweep
+// shared identical node IDs.
+func PointSeed(base uint64, point int) uint64 {
+	z := base + 0x9e3779b97f4a7c15*(uint64(int64(point))+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// plan returns the experiment's task decomposition for cfg, wrapping Run as
+// a single task when the experiment declares no Plan of its own.
+func (e *Experiment) plan(cfg RunConfig) (*TaskPlan, error) {
+	if e.Plan != nil {
+		return e.Plan(cfg)
+	}
+	return &TaskPlan{
+		Tasks: []Task{{
+			Label: e.Name,
+			Seed:  e.seedFor(cfg),
+			Run: func(ctx context.Context) (any, error) {
+				return e.Run(ctx, cfg)
+			},
+		}},
+		Assemble: func(outs []any) (*Result, error) {
+			res, ok := outs[0].(*Result)
+			if !ok {
+				return nil, fmt.Errorf("exp: %s: single-task output is %T, not *Result", e.Name, outs[0])
+			}
+			return res, nil
+		},
+	}, nil
+}

@@ -1,0 +1,332 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/inst"
+)
+
+// TestPointSeedPureAndCollisionFree: a point's seed is a pure function of
+// (base seed, point value) — never of scheduling order — and the mixing
+// avoids the additive collisions of base+point.
+func TestPointSeedPureAndCollisionFree(t *testing.T) {
+	if PointSeed(3, 5000) != PointSeed(3, 5000) {
+		t.Fatal("PointSeed is not deterministic")
+	}
+	// The additive derivation collided on base1+point1 == base2+point2.
+	if PointSeed(3, 5) == PointSeed(4, 4) {
+		t.Fatal("additive collision: (3,5) and (4,4) share a seed")
+	}
+	if PointSeed(3, 5) == PointSeed(5, 3) {
+		t.Fatal("additive collision: (3,5) and (5,3) share a seed")
+	}
+	// Distinct points of one sweep get distinct seeds (all catalog presets).
+	for _, e := range catalogExperiments() {
+		seen := map[uint64]int{}
+		for _, sizes := range e.Presets {
+			for _, val := range sizes {
+				s := PointSeed(e.DefaultSeed, val)
+				if prev, dup := seen[s]; dup && prev != val {
+					t.Fatalf("%s: points %d and %d share seed %d", e.Name, prev, val, s)
+				}
+				seen[s] = val
+			}
+		}
+	}
+}
+
+// TestTaskSeedsIndependentOfSweepOrder: the planner derives each task's seed
+// from (experiment, preset, point) only — reordering or subsetting the sweep
+// never changes the seed a given point runs under.
+func TestTaskSeedsIndependentOfSweepOrder(t *testing.T) {
+	e, ok := Lookup("weighted25-d5")
+	if !ok {
+		t.Fatal("weighted25-d5 not registered")
+	}
+	forward, err := e.plan(RunConfig{Sizes: []int{4000, 16000, 64000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reversed, err := e.plan(RunConfig{Sizes: []int{64000, 16000, 4000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subset, err := e.plan(RunConfig{Sizes: []int{16000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedOf := func(p *TaskPlan, val int) uint64 {
+		for _, task := range p.Tasks {
+			if task.Seed == PointSeed(e.DefaultSeed, val) {
+				return task.Seed
+			}
+		}
+		t.Fatalf("no task carries the seed of point %d", val)
+		return 0
+	}
+	for _, val := range []int{4000, 16000, 64000} {
+		if seedOf(forward, val) != PointSeed(e.DefaultSeed, val) {
+			t.Fatalf("point %d seed is not PointSeed(base, point)", val)
+		}
+	}
+	if seedOf(forward, 16000) != seedOf(reversed, 16000) || seedOf(forward, 16000) != seedOf(subset, 16000) {
+		t.Fatal("a point's seed depends on the rest of the sweep")
+	}
+}
+
+// TestTaskPlanMetadata: sweep plans expose one task per point, in sweep
+// order, each carrying its label, derived seed, and the composite instance
+// key it will populate.
+func TestTaskPlanMetadata(t *testing.T) {
+	e, ok := Lookup("weighted25-d5")
+	if !ok {
+		t.Fatal("weighted25-d5 not registered")
+	}
+	plan, err := e.plan(RunConfig{Preset: PresetQuick})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := e.Presets[PresetQuick]
+	if len(plan.Tasks) != len(sizes) {
+		t.Fatalf("%d tasks for %d sweep points", len(plan.Tasks), len(sizes))
+	}
+	for i, task := range plan.Tasks {
+		if want := fmt.Sprintf("weighted25-d5 n=%d", sizes[i]); task.Label != want {
+			t.Fatalf("task %d label %q, want %q", i, task.Label, want)
+		}
+		if task.Seed != PointSeed(e.DefaultSeed, sizes[i]) {
+			t.Fatalf("task %d seed %d, want PointSeed(base, %d)", i, task.Seed, sizes[i])
+		}
+		if !bytes.Contains([]byte(task.InstanceKey), []byte("weighted(")) {
+			t.Fatalf("task %d instance key %q is not a composite weighted key", i, task.InstanceKey)
+		}
+	}
+	// Experiments without a Plan wrap Run as a single task.
+	tbl, ok := Lookup("density-poly")
+	if !ok {
+		t.Fatal("density-poly not registered")
+	}
+	single, err := tbl.plan(RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(single.Tasks) != 1 || single.Tasks[0].Label != "density-poly" {
+		t.Fatalf("table experiment plan = %+v, want one task", single.Tasks)
+	}
+}
+
+// TestSweepTasksMatchSerialByteForByte is the tentpole acceptance criterion
+// at test scale: a single sweep experiment run with Jobs > 1 (its points
+// scheduled concurrently) produces a canonical result byte-identical to both
+// the serial batch and the plain Run path.
+func TestSweepTasksMatchSerialByteForByte(t *testing.T) {
+	for _, name := range []string{"weighted25-d5", "weightaug-k2", "hierarchical35-k2", "twocoloring-gap"} {
+		e := lookupAll(t, []string{name})
+		cfg := RunConfig{Preset: PresetQuick}
+		direct, err := e[0].Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := RunBatch(context.Background(), e, BatchOptions{Jobs: 1, Config: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := RunBatch(context.Background(), e, BatchOptions{Jobs: 4, Config: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := canonicalJSON(t, []*Result{direct})
+		if got := canonicalJSON(t, serial); !bytes.Equal(want, got) {
+			t.Fatalf("%s: serial batch differs from Run:\n%s\nvs\n%s", name, want, got)
+		}
+		if got := canonicalJSON(t, parallel); !bytes.Equal(want, got) {
+			t.Fatalf("%s: parallel batch differs from Run:\n%s\nvs\n%s", name, want, got)
+		}
+	}
+}
+
+// shuffleExperiment builds a synthetic sweep experiment whose n tasks
+// complete in a deliberately scrambled order (each task blocks until every
+// later-indexed task finished), to prove reassembly is positional.
+func shuffleExperiment(n int, order *[]int) *Experiment {
+	done := make([]chan struct{}, n)
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	e := &Experiment{Name: "test-task-shuffle"}
+	e.Run = func(ctx context.Context, cfg RunConfig) (*Result, error) {
+		return nil, errors.New("serial path unused")
+	}
+	e.Plan = func(cfg RunConfig) (*TaskPlan, error) {
+		tasks := make([]Task, n)
+		for i := range tasks {
+			i := i
+			tasks[i] = Task{
+				Label: fmt.Sprintf("test-task-shuffle i=%d", i),
+				Run: func(ctx context.Context) (any, error) {
+					if i < n-1 {
+						select {
+						case <-done[i+1]: // force reverse completion order
+						case <-ctx.Done():
+							return nil, ctx.Err()
+						}
+					}
+					*order = append(*order, i)
+					close(done[i])
+					return i, nil
+				},
+			}
+		}
+		return &TaskPlan{
+			Tasks: tasks,
+			Assemble: func(outs []any) (*Result, error) {
+				res := &Result{Name: "test-task-shuffle"}
+				for i, o := range outs {
+					if o.(int) != i {
+						return nil, fmt.Errorf("position %d holds output %v", i, o)
+					}
+				}
+				return res, nil
+			},
+		}, nil
+	}
+	return e
+}
+
+// TestShuffledCompletionOrderStillCanonical: tasks completing in reverse
+// order still assemble positionally (the aggregate never reflects
+// completion order).
+func TestShuffledCompletionOrderStillCanonical(t *testing.T) {
+	const n = 6
+	var order []int
+	e := shuffleExperiment(n, &order)
+	results, err := RunBatch(context.Background(), []*Experiment{e}, BatchOptions{Jobs: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0] == nil || results[0].Name != "test-task-shuffle" {
+		t.Fatalf("assembled result = %+v", results[0])
+	}
+	for i, got := range order {
+		if want := n - 1 - i; got != want {
+			t.Fatalf("completion order %v was not reversed (position %d)", order, i)
+		}
+	}
+}
+
+// TestMidSweepCancellationStopsRemainingTasks: a failing task cancels its
+// in-flight siblings promptly and keeps the queued remainder of the sweep
+// from ever starting.
+func TestMidSweepCancellationStopsRemainingTasks(t *testing.T) {
+	boom := errors.New("boom")
+	var started atomic.Int32
+	var sawCancel atomic.Bool
+	siblingUp := make(chan struct{})
+	tasks := []Task{
+		{Label: "failer", Run: func(ctx context.Context) (any, error) {
+			<-siblingUp // fail only once the sibling is mid-flight
+			return nil, boom
+		}},
+		{Label: "sibling", Run: func(ctx context.Context) (any, error) {
+			close(siblingUp)
+			select {
+			case <-ctx.Done():
+				sawCancel.Store(true)
+				return nil, fmt.Errorf("sibling: %w", ctx.Err())
+			case <-time.After(10 * time.Second):
+				return 1, nil
+			}
+		}},
+	}
+	for i := 0; i < 8; i++ {
+		tasks = append(tasks, Task{Label: "queued", Run: func(ctx context.Context) (any, error) {
+			started.Add(1)
+			return 1, nil
+		}})
+	}
+	e := &Experiment{Name: "test-task-cancel"}
+	e.Run = func(ctx context.Context, cfg RunConfig) (*Result, error) { return nil, errors.New("unused") }
+	e.Plan = func(cfg RunConfig) (*TaskPlan, error) {
+		return &TaskPlan{
+			Tasks: tasks,
+			Assemble: func(outs []any) (*Result, error) {
+				return nil, errors.New("assemble must not run after a failure")
+			},
+		}, nil
+	}
+	begun := time.Now()
+	_, err := RunBatch(context.Background(), []*Experiment{e}, BatchOptions{Jobs: 2})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the task's own failure", err)
+	}
+	if !sawCancel.Load() {
+		t.Fatal("in-flight sibling task never observed cancellation")
+	}
+	if n := started.Load(); n != 0 {
+		t.Fatalf("%d queued tasks started after the failure", n)
+	}
+	if time.Since(begun) > 5*time.Second {
+		t.Fatal("batch waited for the slow task instead of canceling it")
+	}
+}
+
+// TestWarmCompositeRepeatBuildsNothing is the composite-cache acceptance
+// criterion: a warm repeat of the weighted/labeling presets performs zero
+// composite builds, asserted via the provider's per-kind counters.
+func TestWarmCompositeRepeatBuildsNothing(t *testing.T) {
+	exps := lookupAll(t, []string{"weighted25-d5", "weightaug-k2"})
+	cfg := RunConfig{Preset: PresetQuick}
+	if _, err := RunBatch(context.Background(), exps, BatchOptions{Jobs: 2, Config: cfg}); err != nil {
+		t.Fatal(err)
+	}
+	warm := InstanceCache().Stats()
+	if _, err := RunBatch(context.Background(), exps, BatchOptions{Jobs: 2, Config: cfg}); err != nil {
+		t.Fatal(err)
+	}
+	after := InstanceCache().Stats()
+	for _, kind := range []string{"weighted", "weightaug"} {
+		w, a := warm.Kinds[inst.Kind(kind)], after.Kinds[inst.Kind(kind)]
+		if w.Builds == 0 {
+			t.Fatalf("first run performed no %s composite builds (stats %+v)", kind, warm)
+		}
+		if a.Builds != w.Builds {
+			t.Fatalf("warm repeat performed %d new %s composite builds, want 0", a.Builds-w.Builds, kind)
+		}
+		if a.Hits <= w.Hits {
+			t.Fatalf("warm repeat recorded no %s composite hits", kind)
+		}
+		if a.BuildTime <= 0 {
+			t.Fatalf("no %s build time recorded", kind)
+		}
+	}
+}
+
+// TestBatchRandomJobsFuzz: the canonical aggregate of a mixed batch is
+// invariant across random worker counts.
+func TestBatchRandomJobsFuzz(t *testing.T) {
+	exps := lookupAll(t, []string{"hierarchical35-k2", "copyfraction-d5", "survivors"})
+	cfg := RunConfig{Preset: PresetQuick}
+	baseline, err := RunBatch(context.Background(), exps, BatchOptions{Jobs: 1, Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := canonicalJSON(t, baseline)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 3; trial++ {
+		jobs := 2 + rng.Intn(6)
+		got, err := RunBatch(context.Background(), exps, BatchOptions{Jobs: jobs, Config: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if raw := canonicalJSON(t, got); !bytes.Equal(want, raw) {
+			t.Fatalf("jobs=%d diverged from serial:\n%s\nvs\n%s", jobs, want, raw)
+		}
+	}
+}

@@ -1,5 +1,5 @@
 // Package inst is the instance provider: a keyed, size-bounded,
-// singleflight-guarded cache over the graph.Build* constructions.
+// singleflight-guarded cache over the paper's instance constructions.
 //
 // The lower-bound instances behind the paper's sweeps (the Definition-18
 // hierarchical graphs, balanced Δ-regular weight trees, and plain paths) are
@@ -12,8 +12,16 @@
 // once. Entries are evicted least-recently-used once the total cached node
 // count exceeds the bound.
 //
-// Callers must treat returned values as read-only: trees (and the
-// Hierarchical metadata around them) are shared across goroutines.
+// Beyond the bare trees, the cache holds keyed *composite* entries: the
+// Definition-25 weighted instances (tree + Active/Weight inputs,
+// weighted.BuildInstance) and the Section-10 weight-augmented instances
+// (labeling.BuildAugInstance). Composites are built around a hierarchical
+// core requested through the same cache, so every composite sharing a
+// path-length vector shares one core tree; the composite entry itself is
+// accounted by its full node count in the same LRU.
+//
+// Callers must treat returned values as read-only: trees, input slices, and
+// the Hierarchical metadata around them are shared across goroutines.
 package inst
 
 import (
@@ -25,35 +33,54 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/hierarchy"
+	"repro/internal/labeling"
+	"repro/internal/weighted"
 )
 
-// DefaultMaxNodes bounds the default cache at ~16.7M cached tree nodes,
-// comfortably above the standard presets (the largest standard instance,
-// the T=144 k=2 hierarchical graph, is ~3M nodes) while keeping the cache
-// well under a gigabyte.
-const DefaultMaxNodes = 1 << 24
+// DefaultMaxNodes bounds the default cache at ~33.5M cached nodes: large
+// enough that one full weighted standard preset stays resident (the
+// weighted25-d5k3 standard sweep totals ~22M composite nodes plus ~7M of
+// shared hierarchical cores — its warm repeat must perform zero builds)
+// while bounding the cache at roughly a gigabyte and a half.
+const DefaultMaxNodes = 1 << 25
 
 // Kind names a cached construction family.
 type Kind string
 
-// The cached construction kinds, one per graph.Build* entry point used by
-// the experiment drivers.
+// The cached construction kinds: one per graph.Build* entry point used by
+// the experiment drivers, plus the composite weighted/weight-augmented
+// instances of Definitions 25 and 67.
 const (
 	KindPath         Kind = "path"
 	KindBalanced     Kind = "balanced"
 	KindHierarchical Kind = "hierarchical"
+	KindWeighted     Kind = "weighted"
+	KindAug          Kind = "weightaug"
 )
 
+// Kinds lists every construction family in a stable display order.
+func Kinds() []Kind {
+	return []Kind{KindPath, KindBalanced, KindHierarchical, KindWeighted, KindAug}
+}
+
 // Key identifies one construction: the kind plus its parameters. Keys are
-// comparable and printable (they name the persisted-instance slot in logs
-// and counters).
+// comparable and printable (they name the persisted-instance slot in logs,
+// counters, and task metadata).
 type Key struct {
 	Kind Kind
-	// A and B are the scalar parameters: Path{n}, Balanced{delta, size}.
+	// A and B are the scalar parameters: Path{n}, Balanced{delta, size};
+	// the composite kinds use them for Δ and d.
 	A, B int
 	// Lengths is the canonical "ell_1,...,ell_k" encoding of a hierarchical
 	// construction's path-length vector; empty for scalar kinds.
 	Lengths string
+	// Variant, K, and Budget parameterize the composite kinds: the problem
+	// variant (2½/3½; zero for the weight-augmented problem), the hierarchy
+	// depth, and the per-level weight budget.
+	Variant uint8
+	K       int
+	Budget  int
 }
 
 func (k Key) String() string {
@@ -64,6 +91,11 @@ func (k Key) String() string {
 		return fmt.Sprintf("balanced(%d,%d)", k.A, k.B)
 	case KindHierarchical:
 		return fmt.Sprintf("hierarchical(%s)", k.Lengths)
+	case KindWeighted:
+		return fmt.Sprintf("weighted(%s,Δ=%d,d=%d,k=%d,ℓ=%s,w=%d)",
+			hierarchy.Variant(k.Variant), k.A, k.B, k.K, k.Lengths, k.Budget)
+	case KindAug:
+		return fmt.Sprintf("weightaug(Δ=%d,k=%d,ℓ=%s,w=%d)", k.A, k.K, k.Lengths, k.Budget)
 	}
 	return fmt.Sprintf("%s(%d,%d,%s)", k.Kind, k.A, k.B, k.Lengths)
 }
@@ -76,6 +108,37 @@ func BalancedKey(delta, size int) Key { return Key{Kind: KindBalanced, A: delta,
 
 // HierarchicalKey is the cache key for graph.BuildHierarchical(lengths).
 func HierarchicalKey(lengths []int) Key {
+	return Key{Kind: KindHierarchical, Lengths: encodeLengths(lengths)}
+}
+
+// WeightedKey is the cache key for weighted.BuildInstance(p, lengths,
+// budget): the full problem parameters (variant, Δ, d, k), the core's
+// path-length vector, and the per-level weight budget.
+func WeightedKey(p weighted.Problem, lengths []int, budget int) Key {
+	return Key{
+		Kind:    KindWeighted,
+		A:       p.Delta,
+		B:       p.D,
+		K:       p.K,
+		Variant: uint8(p.Variant),
+		Lengths: encodeLengths(lengths),
+		Budget:  budget,
+	}
+}
+
+// AugKey is the cache key for labeling.BuildAugInstance(k, delta, lengths,
+// budget).
+func AugKey(k, delta int, lengths []int, budget int) Key {
+	return Key{
+		Kind:    KindAug,
+		A:       delta,
+		K:       k,
+		Lengths: encodeLengths(lengths),
+		Budget:  budget,
+	}
+}
+
+func encodeLengths(lengths []int) string {
 	var b strings.Builder
 	for i, l := range lengths {
 		if i > 0 {
@@ -83,7 +146,7 @@ func HierarchicalKey(lengths []int) Key {
 		}
 		b.WriteString(strconv.Itoa(l))
 	}
-	return Key{Kind: KindHierarchical, Lengths: b.String()}
+	return b.String()
 }
 
 // Stats is a snapshot of the cache counters.
@@ -96,16 +159,31 @@ type Stats struct {
 	// Coalesced counts misses that joined another goroutine's in-flight
 	// build instead of building themselves (singleflight sharing).
 	Coalesced uint64 `json:"coalesced"`
-	// Builds counts actual graph.Build* invocations, successful or failed
+	// Builds counts actual build invocations, successful or failed
 	// (failed builds leave no entry). Misses == Builds + Coalesced.
 	Builds uint64 `json:"builds"`
 	// Evictions counts entries dropped by the LRU size bound.
 	Evictions uint64 `json:"evictions"`
-	// BuildTime is the cumulative wall-clock time spent inside graph.Build*.
+	// BuildTime is the cumulative wall-clock time spent inside the builders.
 	BuildTime time.Duration `json:"build_time_ns"`
 	// Entries and Nodes are the current cache occupancy.
 	Entries int   `json:"entries"`
 	Nodes   int64 `json:"nodes"`
+	// Kinds breaks the counters down by construction family — in
+	// particular it separates the composite weighted/weight-augmented
+	// entries from the bare tree builds they sit on.
+	Kinds map[Kind]KindStats `json:"kinds,omitempty"`
+}
+
+// KindStats is one construction family's slice of the counters. A composite
+// kind's BuildTime includes any cold core build it triggered (the core build
+// is also recorded under its own kind).
+type KindStats struct {
+	Hits      uint64        `json:"hits"`
+	Builds    uint64        `json:"builds"`
+	BuildTime time.Duration `json:"build_time_ns"`
+	Entries   int           `json:"entries"`
+	Nodes     int64         `json:"nodes"`
 }
 
 // entry is one cached instance.
@@ -133,6 +211,7 @@ type Cache struct {
 	flight   map[Key]*call
 	nodes    int64
 	stats    Stats
+	perKind  map[Kind]*KindStats // hits/builds/build time only; occupancy derived in Stats
 }
 
 // New returns a Cache bounded at maxNodes total cached tree nodes
@@ -146,7 +225,19 @@ func New(maxNodes int64) *Cache {
 		entries:  make(map[Key]*entry),
 		lru:      list.New(),
 		flight:   make(map[Key]*call),
+		perKind:  make(map[Kind]*KindStats),
 	}
+}
+
+// kindLocked returns the per-kind counter slot for k, creating it on first
+// use. Callers hold c.mu.
+func (c *Cache) kindLocked(k Kind) *KindStats {
+	ks, ok := c.perKind[k]
+	if !ok {
+		ks = &KindStats{}
+		c.perKind[k] = ks
+	}
+	return ks
 }
 
 // Path returns the cached path with n nodes, building it on first request.
@@ -196,6 +287,52 @@ func (c *Cache) Hierarchical(lengths []int) (*graph.Hierarchical, error) {
 	return v.(*graph.Hierarchical), nil
 }
 
+// Weighted returns the cached Definition-25 weighted composite instance
+// (hierarchical core plus attached weight trees and Active/Weight inputs)
+// for problem p, core path lengths, and per-level weight budget, building it
+// on first request. The core is requested through Hierarchical on the same
+// cache, so composites sharing a path-length vector share one core tree; the
+// composite entry is accounted by the full composite node count.
+func (c *Cache) Weighted(p weighted.Problem, lengths []int, budget int) (*weighted.Instance, error) {
+	v, err := c.get(WeightedKey(p, lengths, budget), func() (any, int64, error) {
+		h, err := c.Hierarchical(lengths)
+		if err != nil {
+			return nil, 0, err
+		}
+		in, err := weighted.BuildInstanceFrom(p, h, budget)
+		if err != nil {
+			return nil, 0, err
+		}
+		return in, int64(in.Tree.N()), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*weighted.Instance), nil
+}
+
+// Aug returns the cached Section-10 weight-augmented composite instance for
+// hierarchy depth k, degree bound delta, core path lengths, and per-level
+// weight budget, building it on first request. Like Weighted, the core is
+// shared through the cache's Hierarchical entry.
+func (c *Cache) Aug(k, delta int, lengths []int, budget int) (*labeling.AugInstance, error) {
+	v, err := c.get(AugKey(k, delta, lengths, budget), func() (any, int64, error) {
+		h, err := c.Hierarchical(lengths)
+		if err != nil {
+			return nil, 0, err
+		}
+		in, err := labeling.BuildAugInstanceFrom(k, delta, h, budget)
+		if err != nil {
+			return nil, 0, err
+		}
+		return in, int64(in.Tree.N()), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*labeling.AugInstance), nil
+}
+
 // get serves key from the cache, joining an in-flight build or invoking
 // build exactly once on a cold key. Build errors are returned to every
 // waiter and are not cached.
@@ -203,6 +340,7 @@ func (c *Cache) get(key Key, build func() (any, int64, error)) (any, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.stats.Hits++
+		c.kindLocked(key.Kind).Hits++
 		c.lru.MoveToFront(e.elem)
 		c.mu.Unlock()
 		return e.val, nil
@@ -227,6 +365,9 @@ func (c *Cache) get(key Key, build func() (any, int64, error)) (any, error) {
 	delete(c.flight, key)
 	c.stats.Builds++
 	c.stats.BuildTime += elapsed
+	ks := c.kindLocked(key.Kind)
+	ks.Builds++
+	ks.BuildTime += elapsed
 	if err == nil {
 		c.insertLocked(key, val, nodes)
 	}
@@ -259,13 +400,25 @@ func (c *Cache) insertLocked(key Key, val any, nodes int64) {
 	}
 }
 
-// Stats returns a snapshot of the counters and current occupancy.
+// Stats returns a snapshot of the counters and current occupancy, including
+// the per-kind breakdown (occupancy per kind is derived by walking the
+// entry table; the cache holds at most a few dozen entries).
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s := c.stats
 	s.Entries = len(c.entries)
 	s.Nodes = c.nodes
+	s.Kinds = make(map[Kind]KindStats, len(c.perKind))
+	for kind, ks := range c.perKind {
+		s.Kinds[kind] = *ks
+	}
+	for _, e := range c.entries {
+		ks := s.Kinds[e.key.Kind]
+		ks.Entries++
+		ks.Nodes += e.nodes
+		s.Kinds[e.key.Kind] = ks
+	}
 	return s
 }
 
@@ -278,4 +431,5 @@ func (c *Cache) Reset() {
 	c.lru = list.New()
 	c.nodes = 0
 	c.stats = Stats{}
+	c.perKind = make(map[Kind]*KindStats)
 }

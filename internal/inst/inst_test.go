@@ -1,10 +1,13 @@
 package inst
 
 import (
+	"strings"
 	"sync"
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/hierarchy"
+	"repro/internal/weighted"
 )
 
 // TestHitMissCounters: a cold request builds, a warm repeat is served from
@@ -211,6 +214,110 @@ func TestConcurrentMixedLoad(t *testing.T) {
 	}
 }
 
+// TestWeightedCompositeCached: the Definition-25 composite is keyed by
+// (problem, lengths, budget), built once, and shares its hierarchical core
+// through the same cache.
+func TestWeightedCompositeCached(t *testing.T) {
+	c := New(0)
+	p := weighted.Problem{Variant: hierarchy.Coloring25, Delta: 5, D: 2, K: 2}
+	a, err := c.Weighted(p, []int{6, 8}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Weighted(p, []int{6, 8}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("warm composite request returned a different instance")
+	}
+	h, err := c.Hierarchical([]int{6, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hier != h {
+		t.Fatal("composite does not share the cached hierarchical core")
+	}
+	// Different budget or problem parameters are distinct slots.
+	if other, err := c.Weighted(p, []int{6, 8}, 200); err != nil {
+		t.Fatal(err)
+	} else if other == a {
+		t.Fatal("budgets share one composite slot")
+	}
+	s := c.Stats()
+	if got := s.Kinds[KindWeighted]; got.Builds != 2 || got.Hits != 1 || got.Entries != 2 {
+		t.Fatalf("weighted kind stats = %+v, want 2 builds / 1 hit / 2 entries", got)
+	}
+	if got := s.Kinds[KindHierarchical]; got.Builds != 1 {
+		t.Fatalf("hierarchical core built %d times, want 1 (shared)", got.Builds)
+	}
+	if got := s.Kinds[KindWeighted]; got.Nodes < int64(a.Tree.N()) {
+		t.Fatalf("weighted kind accounts %d nodes, want >= %d (full composite)", got.Nodes, a.Tree.N())
+	}
+}
+
+// TestAugCompositeCached: same contract for the weight-augmented composite.
+func TestAugCompositeCached(t *testing.T) {
+	c := New(0)
+	a, err := c.Aug(2, 5, []int{6, 8}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Aug(2, 5, []int{6, 8}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("warm aug request returned a different instance")
+	}
+	s := c.Stats()
+	if got := s.Kinds[KindAug]; got.Builds != 1 || got.Hits != 1 || got.Entries != 1 {
+		t.Fatalf("aug kind stats = %+v, want 1 build / 1 hit / 1 entry", got)
+	}
+	if got := s.Kinds[KindAug]; got.BuildTime <= 0 {
+		t.Fatal("aug build time not recorded")
+	}
+	// The weighted and aug composites over the same core are distinct slots.
+	p := weighted.Problem{Variant: hierarchy.Coloring25, Delta: 5, D: 2, K: 2}
+	if WeightedKey(p, []int{6, 8}, 100) == AugKey(2, 5, []int{6, 8}, 100) {
+		t.Fatal("weighted and aug keys collide")
+	}
+}
+
+// TestCompositeBuildErrorsNotCached: invalid composite parameters propagate
+// and leave no entry (a later valid request is unaffected).
+func TestCompositeBuildErrorsNotCached(t *testing.T) {
+	c := New(0)
+	bad := weighted.Problem{Variant: hierarchy.Coloring25, Delta: 5, D: 2, K: 1}
+	if _, err := c.Weighted(bad, []int{6}, 10); err == nil {
+		t.Fatal("k=1 composite accepted")
+	}
+	if _, err := c.Aug(1, 5, []int{6}, 10); err == nil {
+		t.Fatal("k=1 aug composite accepted")
+	}
+	if s := c.Stats(); s.Kinds[KindWeighted].Entries != 0 || s.Kinds[KindAug].Entries != 0 {
+		t.Fatalf("failed composite build cached: %+v", s)
+	}
+}
+
+// TestCompositeKeyStrings: the composite keys print their full parameters
+// (they label tasks and cache-stats lines).
+func TestCompositeKeyStrings(t *testing.T) {
+	p := weighted.Problem{Variant: hierarchy.Coloring25, Delta: 5, D: 2, K: 3}
+	wk := WeightedKey(p, []int{4, 8, 16}, 1000).String()
+	for _, want := range []string{"weighted", "Δ=5", "d=2", "k=3", "4,8,16", "w=1000"} {
+		if !strings.Contains(wk, want) {
+			t.Fatalf("WeightedKey string %q missing %q", wk, want)
+		}
+	}
+	ak := AugKey(2, 6, []int{3, 9}, 50).String()
+	for _, want := range []string{"weightaug", "Δ=6", "k=2", "3,9", "w=50"} {
+		if !strings.Contains(ak, want) {
+			t.Fatalf("AugKey string %q missing %q", ak, want)
+		}
+	}
+}
+
 // TestReset zeroes counters and occupancy.
 func TestReset(t *testing.T) {
 	c := New(0)
@@ -218,7 +325,9 @@ func TestReset(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.Reset()
-	if s := c.Stats(); s != (Stats{}) {
+	s := c.Stats()
+	if s.Hits != 0 || s.Misses != 0 || s.Builds != 0 || s.BuildTime != 0 ||
+		s.Entries != 0 || s.Nodes != 0 || len(s.Kinds) != 0 {
 		t.Fatalf("stats after reset = %+v", s)
 	}
 	if _, err := c.Path(10); err != nil {

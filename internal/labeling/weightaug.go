@@ -54,18 +54,29 @@ type AugInstance struct {
 // and weightPerLevel weight nodes distributed evenly as balanced
 // Δ-regular trees over the construction levels 2..k.
 func BuildAugInstance(k, delta int, lengths []int, weightPerLevel int) (*AugInstance, error) {
-	if k < 2 {
-		return nil, fmt.Errorf("labeling: augmented construction needs k >= 2, got %d", k)
-	}
-	if delta < 4 {
-		return nil, fmt.Errorf("labeling: Δ = %d < 4", delta)
-	}
-	if len(lengths) != k {
+	if k >= 2 && len(lengths) != k {
 		return nil, fmt.Errorf("labeling: %d lengths for k=%d", len(lengths), k)
+	}
+	if err := validateAugParams(k, delta); err != nil {
+		return nil, err
 	}
 	h, err := graph.BuildHierarchical(lengths)
 	if err != nil {
 		return nil, err
+	}
+	return BuildAugInstanceFrom(k, delta, h, weightPerLevel)
+}
+
+// BuildAugInstanceFrom builds the same construction around a prebuilt
+// hierarchical core. The instance references h's tree without modifying it,
+// so a shared (cached) core can back many composites; internal/inst routes
+// its keyed AugKey entries through here.
+func BuildAugInstanceFrom(k, delta int, h *graph.Hierarchical, weightPerLevel int) (*AugInstance, error) {
+	if err := validateAugParams(k, delta); err != nil {
+		return nil, err
+	}
+	if h.K != k {
+		return nil, fmt.Errorf("labeling: %d-level core for k=%d", h.K, k)
 	}
 	nCore := h.Tree.N()
 	b := graph.NewBuilder(nCore + (k-1)*weightPerLevel)
@@ -123,6 +134,18 @@ func BuildAugInstance(k, delta int, lengths []int, weightPerLevel int) (*AugInst
 		NumCore: nCore,
 		Roots:   roots,
 	}, nil
+}
+
+// validateAugParams holds the checks shared by BuildAugInstance and
+// BuildAugInstanceFrom.
+func validateAugParams(k, delta int) error {
+	if k < 2 {
+		return fmt.Errorf("labeling: augmented construction needs k >= 2, got %d", k)
+	}
+	if delta < 4 {
+		return fmt.Errorf("labeling: Δ = %d < 4", delta)
+	}
+	return nil
 }
 
 // AugResult is an execution of the weight-augmented solver.

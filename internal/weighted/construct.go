@@ -29,21 +29,30 @@ func (in *Instance) NumActive() int { return in.Hier.Tree.N() }
 // i = 2..k, weightPerLevel weight nodes are distributed evenly among the
 // level-i nodes as balanced Δ-regular trees, one per node.
 func BuildInstance(p Problem, lengths []int, weightPerLevel int) (*Instance, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	if len(lengths) != p.K {
+	if p.K >= 2 && len(lengths) != p.K {
 		return nil, fmt.Errorf("weighted: %d lengths for k=%d", len(lengths), p.K)
 	}
-	if p.K < 2 {
-		return nil, fmt.Errorf("weighted: construction needs k >= 2, got %d", p.K)
-	}
-	if weightPerLevel < 0 {
-		return nil, fmt.Errorf("weighted: negative weight budget %d", weightPerLevel)
+	if err := validateInstanceParams(p, weightPerLevel); err != nil {
+		return nil, err
 	}
 	h, err := graph.BuildHierarchical(lengths)
 	if err != nil {
 		return nil, err
+	}
+	return BuildInstanceFrom(p, h, weightPerLevel)
+}
+
+// BuildInstanceFrom builds the Definition-25 construction around a prebuilt
+// hierarchical core. The instance keeps a reference to h (as Instance.Hier)
+// but never modifies it, so one core — e.g. a cached graph.Hierarchical from
+// internal/inst — can back many composite instances with different weight
+// budgets or problem parameters.
+func BuildInstanceFrom(p Problem, h *graph.Hierarchical, weightPerLevel int) (*Instance, error) {
+	if err := validateInstanceParams(p, weightPerLevel); err != nil {
+		return nil, err
+	}
+	if h.K != p.K {
+		return nil, fmt.Errorf("weighted: %d-level core for k=%d", h.K, p.K)
 	}
 	nActive := h.Tree.N()
 	b := graph.NewBuilder(nActive + (p.K-1)*weightPerLevel)
@@ -86,6 +95,21 @@ func BuildInstance(p Problem, lengths []int, weightPerLevel int) (*Instance, err
 		Hier:        h,
 		WeightRoots: roots,
 	}, nil
+}
+
+// validateInstanceParams holds the checks shared by BuildInstance and
+// BuildInstanceFrom.
+func validateInstanceParams(p Problem, weightPerLevel int) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if p.K < 2 {
+		return fmt.Errorf("weighted: construction needs k >= 2, got %d", p.K)
+	}
+	if weightPerLevel < 0 {
+		return fmt.Errorf("weighted: negative weight budget %d", weightPerLevel)
+	}
+	return nil
 }
 
 func hostsOfLevel(h *graph.Hierarchical, level int) []int {

@@ -9,17 +9,25 @@
 //
 //   - Construction (internal/inst, wired inside the drivers): lower-bound
 //     instances are requested through a keyed, size-bounded, singleflight
-//     cache over the graph.Build* constructions, so repeated presets and
-//     concurrently running experiments build each instance exactly once.
-//     InstanceCacheStats exposes the hit/miss/build-time counters.
+//     cache, so repeated presets and concurrently scheduled tasks build
+//     each instance exactly once. The cache holds bare trees and keyed
+//     composite entries (the Definition-25 weighted and Section-10
+//     weight-augmented instances), composites sharing their hierarchical
+//     core through the same cache. InstanceCacheStats exposes the
+//     hit/miss/build-time counters with a per-kind breakdown.
 //
 //   - Execution: every result-regenerating computation of the paper is a
 //     registered Experiment (internal/exp, re-exported here) with
 //     quick/standard/stress presets and a context-aware Run returning a
-//     JSON-native Result. RunBatch executes a set of experiments across a
-//     bounded worker pool with per-experiment contexts; the simulation
-//     engine (internal/sim) adds round-internal parallelism below it via
-//     functional options — sim.NewEngine(sim.WithIDs(...),
+//     JSON-native Result. Each scaling sweep additionally declares a Plan:
+//     one independently schedulable Task per sweep point, carrying a seed
+//     derived via PointSeed (a pure function of experiment and point, never
+//     of scheduling order). RunBatch schedules tasks — not whole
+//     experiments — across a bounded worker pool with per-task contexts and
+//     first-failure cancellation, reassembling outputs positionally so the
+//     aggregate is canonically byte-identical to the serial run; the
+//     simulation engine (internal/sim) adds round-internal parallelism
+//     below it via functional options — sim.NewEngine(sim.WithIDs(...),
 //     sim.WithParallelism(n)).Run(tree, alg) — with sequential and parallel
 //     runs bit-identical.
 //
@@ -84,6 +92,14 @@ type RunResult = exp.Result
 // optional NDJSON stream).
 type BatchOptions = exp.BatchOptions
 
+// Task is one independently schedulable unit of an experiment run — a
+// single sweep point for decomposable sweeps.
+type Task = exp.Task
+
+// TaskPlan is a decomposed experiment run: independent tasks plus their
+// deterministic reassembly; see exp.TaskPlan.
+type TaskPlan = exp.TaskPlan
+
 // Drift is one divergence reported by CompareResults.
 type Drift = exp.Drift
 
@@ -126,8 +142,18 @@ func CompareResults(base, cur []*RunResult, tol float64) []Drift {
 	return exp.Compare(base, cur, tol)
 }
 
-// InstanceCacheStats snapshots the shared instance provider's counters.
+// InstanceCacheStats snapshots the shared instance provider's counters,
+// including the per-kind breakdown (bare trees vs composite instances).
 func InstanceCacheStats() CacheStats { return exp.InstanceCache().Stats() }
+
+// InstanceCacheKinds lists the cached construction families in stable
+// display order (for rendering CacheStats.Kinds).
+func InstanceCacheKinds() []inst.Kind { return inst.Kinds() }
+
+// PointSeed derives the ID seed of one sweep point from a run's base seed
+// and the point's sweep value; see exp.PointSeed. It is a pure function of
+// its inputs, so a point's IDs never depend on scheduling order.
+func PointSeed(base uint64, point int) uint64 { return exp.PointSeed(base, point) }
 
 // Hierarchical35 reproduces Theorem 11 (E-T11): node-averaged complexity of
 // k-hierarchical 3½-coloring is Θ(t) at scale parameter t = T.
