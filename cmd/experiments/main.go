@@ -1,7 +1,8 @@
 // Command experiments runs registered experiments from the registry
 // (internal/exp) and prints their result tables — plain text by default,
-// GitHub-flavored markdown with -markdown (the source of EXPERIMENTS.md), a
-// machine-readable JSON array with -json, or an NDJSON stream with -ndjson.
+// GitHub-flavored markdown with -markdown (the source of the tables in
+// docs/EXPERIMENTS.md), a machine-readable JSON array with -json, or an
+// NDJSON stream with -ndjson.
 //
 // With no flags it regenerates every experiment of the per-experiment index
 // in DESIGN.md at the standard preset, in the historical output order.
@@ -16,7 +17,9 @@
 // Examples:
 //
 //	experiments -list
+//	experiments -list -json
 //	experiments -run twocoloring-gap -preset quick -json
+//	experiments -run twocoloring-gap -shards 4
 //	experiments -run all -preset quick -jobs 4 -out results/
 //	experiments -preset stress -markdown
 //	experiments compare results-main/ results-branch/
@@ -45,7 +48,7 @@ func main() {
 		return
 	}
 	var (
-		list       = flag.Bool("list", false, "list registered experiments and exit")
+		list       = flag.Bool("list", false, "list registered experiments and exit (with -json: machine-readable catalog)")
 		run        = flag.String("run", "", `comma-separated experiment names ("" or "all": every experiment)`)
 		preset     = flag.String("preset", "standard", "sweep preset: quick | standard | stress")
 		jsonOut    = flag.Bool("json", false, "emit a JSON array of results (registry order)")
@@ -53,6 +56,7 @@ func main() {
 		markdown   = flag.Bool("markdown", false, "emit GitHub-flavored markdown")
 		jobs       = flag.Int("jobs", 1, "number of experiments to run concurrently")
 		parallel   = flag.Int("parallel", 1, "simulator worker count (-1 = GOMAXPROCS)")
+		shards     = flag.Int("shards", 0, "simulator shard count: partition each simulated tree into contiguous node-range shards (0/1 = unsharded, -1 = GOMAXPROCS); results are identical at every count")
 		seed       = flag.Uint64("seed", 0, "override the experiments' default ID seeds (0 = defaults)")
 		out        = flag.String("out", "", "persist canonical results: a directory (one file per run) or a .json path (single array)")
 		cacheStats = flag.Bool("cache-stats", false, "print instance-cache counters to stderr after the run")
@@ -67,7 +71,7 @@ func main() {
 	err := mainE(ctx, options{
 		list: *list, run: *run, preset: *preset,
 		jsonOut: *jsonOut, ndjson: *ndjson, markdown: *markdown,
-		jobs: *jobs, parallel: *parallel, seed: *seed,
+		jobs: *jobs, parallel: *parallel, shards: *shards, seed: *seed,
 		out: *out, cacheStats: *cacheStats,
 	})
 	if err != nil {
@@ -79,13 +83,13 @@ func main() {
 type options struct {
 	list, jsonOut, ndjson, markdown, cacheStats bool
 	run, preset, out                            string
-	jobs, parallel                              int
+	jobs, parallel, shards                      int
 	seed                                        uint64
 }
 
 func mainE(ctx context.Context, opts options) error {
 	if opts.list {
-		return printList()
+		return printList(opts.jsonOut)
 	}
 	if opts.jsonOut && opts.ndjson {
 		return fmt.Errorf("-json and -ndjson both write to stdout; pick one")
@@ -96,7 +100,7 @@ func mainE(ctx context.Context, opts options) error {
 	}
 	batch := repro.BatchOptions{
 		Jobs:   opts.jobs,
-		Config: repro.RunConfig{Preset: opts.preset, Seed: opts.seed, Parallelism: opts.parallel},
+		Config: repro.RunConfig{Preset: opts.preset, Seed: opts.seed, Parallelism: opts.parallel, Shards: opts.shards},
 	}
 	if opts.ndjson {
 		batch.Stream = os.Stdout
@@ -250,7 +254,38 @@ func presetNames(presets map[string][]int) string {
 	return strings.Join(append(names, extra...), "|")
 }
 
-func printList() error {
+// catalogEntry is the machine-readable form of one registered experiment,
+// emitted by `experiments -list -json`: everything needed to drive a run
+// without reading drivers.go.
+type catalogEntry struct {
+	Name        string           `json:"name"`
+	Theory      string           `json:"theory,omitempty"`
+	Description string           `json:"description,omitempty"`
+	Presets     map[string][]int `json:"presets,omitempty"`
+	DefaultSeed uint64           `json:"default_seed,omitempty"`
+	// Decomposable reports whether the experiment plans per-sweep-point
+	// tasks (so -jobs parallelizes inside its sweep, not just across
+	// experiments).
+	Decomposable bool `json:"decomposable"`
+}
+
+func printList(jsonOut bool) error {
+	if jsonOut {
+		entries := make([]catalogEntry, 0)
+		for _, e := range repro.Experiments() {
+			entries = append(entries, catalogEntry{
+				Name:         e.Name,
+				Theory:       e.Theory,
+				Description:  e.Description,
+				Presets:      e.Presets,
+				DefaultSeed:  e.DefaultSeed,
+				Decomposable: e.Plan != nil,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(entries)
+	}
 	tb := measure.Table{
 		Title:  "registered experiments",
 		Header: []string{"name", "theory", "presets", "description"},

@@ -5,7 +5,7 @@
 // Examples:
 //
 //	lclsim -alg 3coloring -n 100000
-//	lclsim -alg 2coloring -n 2000
+//	lclsim -alg 2coloring -n 2000 -shards 4
 //	lclsim -alg hier35 -k 2 -scale 16
 //	lclsim -alg weighted25 -n 50000 -delta 5 -d 2 -k 2
 package main
@@ -34,15 +34,16 @@ func main() {
 		scale    = flag.Int("scale", 16, "log*-regime scale parameter T")
 		seed     = flag.Uint64("seed", 1, "ID seed")
 		parallel = flag.Int("parallel", 1, "simulator worker count (-1 = GOMAXPROCS)")
+		shards   = flag.Int("shards", 0, "simulator shard count (0/1 = unsharded, -1 = GOMAXPROCS); simulator-backed algorithms only")
 	)
 	flag.Parse()
-	if err := run(*alg, *n, *k, *delta, *d, *scale, *seed, *parallel); err != nil {
+	if err := run(*alg, *n, *k, *delta, *d, *scale, *seed, *parallel, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "lclsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(alg string, n, k, delta, d, scale int, seed uint64, parallel int) error {
+func run(alg string, n, k, delta, d, scale int, seed uint64, parallel, shards int) error {
 	switch alg {
 	case "3coloring":
 		tr, err := graph.BuildPath(n)
@@ -52,10 +53,12 @@ func run(alg string, n, k, delta, d, scale int, seed uint64, parallel int) error
 		res, err := sim.NewEngine(
 			sim.WithIDs(sim.DefaultIDs(n, seed)),
 			sim.WithParallelism(parallel),
+			sim.WithShards(shards),
 		).Run(tr, coloring.LinialAlgorithm{Delta: 2})
 		if err != nil {
 			return err
 		}
+		reportShards(res)
 		return report("Linial 3-coloring (O(log* n))", n, float64(res.TotalRounds), res.NodeAveraged())
 	case "2coloring":
 		tr, err := graph.BuildPath(n)
@@ -65,10 +68,12 @@ func run(alg string, n, k, delta, d, scale int, seed uint64, parallel int) error
 		res, err := sim.NewEngine(
 			sim.WithIDs(sim.DefaultIDs(n, seed)),
 			sim.WithParallelism(parallel),
+			sim.WithShards(shards),
 		).Run(tr, coloring.TwoColorPathAlgorithm{})
 		if err != nil {
 			return err
 		}
+		reportShards(res)
 		return report("2-coloring by propagation (Θ(n))", n, float64(res.TotalRounds), res.NodeAveraged())
 	case "hier25", "hier35":
 		variant := hierarchy.Coloring25
@@ -158,6 +163,24 @@ func run(alg string, n, k, delta, d, scale int, seed uint64, parallel int) error
 			inst.Tree.N(), float64(sol.MaxRounds()), sol.NodeAveraged())
 	default:
 		return fmt.Errorf("unknown algorithm %q", alg)
+	}
+}
+
+// reportShards prints the per-shard statistics of a sharded run (nodes,
+// boundary edges, crossing traffic, active rounds); no-op for unsharded
+// runs.
+func reportShards(res *sim.Result) {
+	if res.Shards == nil {
+		return
+	}
+	var crossed int64
+	for _, s := range res.Shards {
+		crossed += s.MessagesCrossed
+	}
+	fmt.Printf("sharded run: %d shards, %d boundary messages crossed\n", len(res.Shards), crossed)
+	for _, s := range res.Shards {
+		fmt.Printf("  shard %d: %d nodes, %d boundary edges, %d crossed, %d active rounds\n",
+			s.Shard, s.Nodes, s.BoundaryEdges, s.MessagesCrossed, s.ActiveRounds)
 	}
 }
 

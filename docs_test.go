@@ -1,0 +1,64 @@
+package repro
+
+// The documentation gate, run by the CI docs job: every intra-repo markdown
+// link in the root documents and docs/ must resolve to an existing file or
+// directory, so a rename or deletion cannot silently strand README,
+// ROADMAP, or the architecture docs.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links [text](target); reference-style
+// definitions and autolinks are out of scope (the docs use inline links).
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// docFiles lists the markdown files under the link gate: everything at the
+// repository root plus everything under docs/.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	root, err := filepath.Glob("*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := append(root, sub...)
+	if len(files) == 0 {
+		t.Fatal("no markdown files found; is the test running from the repo root?")
+	}
+	return files
+}
+
+// TestDocLinksResolve fails on any intra-repo markdown link whose target
+// does not exist. External links (with a URL scheme) and pure-fragment
+// links are skipped; fragments on relative targets are stripped before the
+// existence check.
+func TestDocLinksResolve(t *testing.T) {
+	for _, file := range docFiles(t) {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external
+			}
+			if strings.HasPrefix(target, "#") {
+				continue // in-page fragment
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken intra-repo link %q (%s does not exist)", file, m[1], resolved)
+			}
+		}
+	}
+}

@@ -8,11 +8,12 @@ import (
 )
 
 // catalogExperiments returns the registered catalog, excluding the
-// throwaway "test-*" experiments other tests in this package register.
+// throwaway "test-*" experiments other tests in this package register and
+// the "example-*" ones registered by the godoc examples.
 func catalogExperiments() []*Experiment {
 	var out []*Experiment
 	for _, e := range List() {
-		if strings.HasPrefix(e.Name, "test-") {
+		if strings.HasPrefix(e.Name, "test-") || strings.HasPrefix(e.Name, "example-") {
 			continue
 		}
 		out = append(out, e)

@@ -63,6 +63,20 @@ func (r *SweepResult) finish(title string, xName string) {
 	}
 }
 
+// engineConfig carries the simulator execution knobs — worker count and
+// shard count — from RunConfig into the simulator-backed point functions.
+// Neither knob affects results: canonical outputs are byte-identical at
+// every setting (asserted catalog-wide in shard_equiv_test.go).
+type engineConfig struct {
+	parallelism int
+	shards      int
+}
+
+// engCfg extracts the engine knobs of a run configuration.
+func engCfg(cfg RunConfig) engineConfig {
+	return engineConfig{parallelism: cfg.Parallelism, shards: cfg.Shards}
+}
+
 // sweepStep is the per-point cancellation check shared by every driver.
 func sweepStep(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
@@ -94,7 +108,7 @@ type sweepSpec struct {
 	key func(val int) string
 	// point runs one sweep value under the point seed derived via
 	// PointSeed from the run's base seed.
-	point func(ctx context.Context, val int, seed uint64, parallelism int) (sweepPoint, error)
+	point func(ctx context.Context, val int, seed uint64, eng engineConfig) (sweepPoint, error)
 }
 
 // assemble combines completed points — in canonical sweep order — into the
@@ -113,13 +127,13 @@ func (s *sweepSpec) assemble(points []sweepPoint) *SweepResult {
 
 // runSerial executes the sweep's points in order on the calling goroutine —
 // the legacy driver behavior, also used by Experiment.Run.
-func (s *sweepSpec) runSerial(ctx context.Context, vals []int, seed uint64, parallelism int) (*SweepResult, error) {
+func (s *sweepSpec) runSerial(ctx context.Context, vals []int, seed uint64, eng engineConfig) (*SweepResult, error) {
 	points := make([]sweepPoint, 0, len(vals))
 	for _, val := range vals {
 		if err := sweepStep(ctx); err != nil {
 			return nil, err
 		}
-		p, err := s.point(ctx, val, PointSeed(seed, val), parallelism)
+		p, err := s.point(ctx, val, PointSeed(seed, val), eng)
 		if err != nil {
 			return nil, err
 		}
@@ -150,7 +164,7 @@ func hierarchical35Spec(k int) *sweepSpec {
 		theorySlope: 1,
 		theoryUpper: 1,
 		key:         func(T int) string { return inst.HierarchicalKey(hierLengths(k, T)).String() },
-		point: func(ctx context.Context, T int, seed uint64, _ int) (sweepPoint, error) {
+		point: func(ctx context.Context, T int, seed uint64, _ engineConfig) (sweepPoint, error) {
 			gammas := make([]int, k-1)
 			for i := 1; i < k; i++ {
 				gammas[i-1] = ipow(T, 1<<uint(i-1))
@@ -186,7 +200,7 @@ func hierarchical35Spec(k int) *sweepSpec {
 
 // Hierarchical35 runs experiment E-T11 serially (the legacy driver API).
 func Hierarchical35(ctx context.Context, k int, scales []int, seed uint64) (*SweepResult, error) {
-	return hierarchical35Spec(k).runSerial(ctx, scales, seed, 1)
+	return hierarchical35Spec(k).runSerial(ctx, scales, seed, engineConfig{parallelism: 1})
 }
 
 // weighted25Spec declares experiment E-T2T3 (Theorems 2-3): A_poly on the
@@ -215,7 +229,7 @@ func weighted25Spec(delta, d, k int) (*sweepSpec, error) {
 		key: func(target int) string {
 			return inst.WeightedKey(p, polyLengths(target, k, alphas), target/k).String()
 		},
-		point: func(ctx context.Context, target int, seed uint64, _ int) (sweepPoint, error) {
+		point: func(ctx context.Context, target int, seed uint64, _ engineConfig) (sweepPoint, error) {
 			in, err := instances.Weighted(p, polyLengths(target, k, alphas), target/k)
 			if err != nil {
 				return sweepPoint{}, err
@@ -256,7 +270,7 @@ func Weighted25(ctx context.Context, delta, d, k int, sizes []int, seed uint64) 
 	if err != nil {
 		return nil, err
 	}
-	return s.runSerial(ctx, sizes, seed, 1)
+	return s.runSerial(ctx, sizes, seed, engineConfig{parallelism: 1})
 }
 
 // polyLengths derives the Definition-25 path lengths ℓ_i = (n')^{α_i} for
@@ -333,7 +347,7 @@ func weighted35Spec(delta, d, k, weightFactor int) (*sweepSpec, error) {
 			total := graph.HierarchicalSize(lengths) * weightFactor
 			return inst.WeightedKey(p, lengths, total/k).String()
 		},
-		point: func(ctx context.Context, T int, seed uint64, _ int) (sweepPoint, error) {
+		point: func(ctx context.Context, T int, seed uint64, _ engineConfig) (sweepPoint, error) {
 			lengths := lengthsOf(T)
 			total := graph.HierarchicalSize(lengths) * weightFactor
 			in, err := instances.Weighted(p, lengths, total/k)
@@ -363,7 +377,7 @@ func Weighted35(ctx context.Context, delta, d, k int, scales []int, weightFactor
 	if err != nil {
 		return nil, err
 	}
-	return s.runSerial(ctx, scales, seed, 1)
+	return s.runSerial(ctx, scales, seed, engineConfig{parallelism: 1})
 }
 
 // weightAugmentedSpec declares experiment E-L68 (Lemmas 68-69): the
@@ -386,7 +400,7 @@ func weightAugmentedSpec(k, delta int) *sweepSpec {
 		key: func(target int) string {
 			return inst.AugKey(k, delta, lengthsOf(target), target/k).String()
 		},
-		point: func(ctx context.Context, target int, seed uint64, _ int) (sweepPoint, error) {
+		point: func(ctx context.Context, target int, seed uint64, _ engineConfig) (sweepPoint, error) {
 			in, err := instances.Aug(k, delta, lengthsOf(target), target/k)
 			if err != nil {
 				return sweepPoint{}, err
@@ -411,7 +425,7 @@ func weightAugmentedSpec(k, delta int) *sweepSpec {
 
 // WeightAugmented runs experiment E-L68 serially (the legacy driver API).
 func WeightAugmented(ctx context.Context, k, delta int, sizes []int, seed uint64) (*SweepResult, error) {
-	return weightAugmentedSpec(k, delta).runSerial(ctx, sizes, seed, 1)
+	return weightAugmentedSpec(k, delta).runSerial(ctx, sizes, seed, engineConfig{parallelism: 1})
 }
 
 // twoColoringGapSpec declares experiment E-C60 (Corollary 60): 2-coloring a
@@ -427,7 +441,7 @@ func twoColoringGapSpec() *sweepSpec {
 		theorySlope: 1,
 		theoryUpper: 1,
 		key:         func(n int) string { return inst.PathKey(n).String() },
-		point: func(ctx context.Context, n int, seed uint64, parallelism int) (sweepPoint, error) {
+		point: func(ctx context.Context, n int, seed uint64, eng engineConfig) (sweepPoint, error) {
 			tr, err := instances.Path(n)
 			if err != nil {
 				return sweepPoint{}, err
@@ -435,7 +449,8 @@ func twoColoringGapSpec() *sweepSpec {
 			r, err := sim.NewEngine(
 				sim.WithIDs(sim.DefaultIDs(n, seed)),
 				sim.WithContext(ctx),
-				sim.WithParallelism(parallelism),
+				sim.WithParallelism(eng.parallelism),
+				sim.WithShards(eng.shards),
 			).Run(tr, coloring.TwoColorPathAlgorithm{})
 			if err != nil {
 				return sweepPoint{}, err
@@ -451,7 +466,7 @@ func twoColoringGapSpec() *sweepSpec {
 
 // TwoColoringGap runs experiment E-C60 serially (the legacy driver API).
 func TwoColoringGap(ctx context.Context, sizes []int, seed uint64, parallelism int) (*SweepResult, error) {
-	return twoColoringGapSpec().runSerial(ctx, sizes, seed, parallelism)
+	return twoColoringGapSpec().runSerial(ctx, sizes, seed, engineConfig{parallelism: parallelism})
 }
 
 // copyFractionSpec declares experiment E-L40 (Lemma 40): the Copy-set size
@@ -469,7 +484,7 @@ func copyFractionSpec(delta, d int) (*sweepSpec, error) {
 		theorySlope: x,
 		theoryUpper: x,
 		key:         func(w int) string { return inst.BalancedKey(delta, w).String() },
-		point: func(ctx context.Context, w int, _ uint64, _ int) (sweepPoint, error) {
+		point: func(ctx context.Context, w int, _ uint64, _ engineConfig) (sweepPoint, error) {
 			tr, err := instances.Balanced(delta, w)
 			if err != nil {
 				return sweepPoint{}, err
@@ -504,7 +519,7 @@ func CopyFraction(ctx context.Context, delta, d int, sizes []int) (*SweepResult,
 	if err != nil {
 		return nil, err
 	}
-	return s.runSerial(ctx, sizes, 0, 1)
+	return s.runSerial(ctx, sizes, 0, engineConfig{parallelism: 1})
 }
 
 // DensityPoly runs experiment E-T1 (Theorem 1): for a list of target

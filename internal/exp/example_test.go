@@ -1,0 +1,55 @@
+package exp_test
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/exp"
+	"repro/internal/measure"
+)
+
+// ExampleRegister registers a new experiment and runs it through the
+// registry, the way every scenario of the catalog is wired up: a named value
+// with presets and a context-aware Run returning a JSON-native Result.
+// Experiments that additionally declare a Plan decompose into per-sweep-point
+// tasks that RunBatch schedules across the -jobs pool.
+//
+// (Catalog tests skip names prefixed "example-" and "test-", so throwaway
+// registrations like this one never join the real batch.)
+func ExampleRegister() {
+	err := exp.Register(&exp.Experiment{
+		Name:        "example-doubling",
+		Description: "Doubles each sweep value; a stand-in for a real measurement.",
+		Theory:      "none (documentation example)",
+		Presets: map[string][]int{
+			exp.PresetQuick:    {1, 2, 3},
+			exp.PresetStandard: {1, 2, 4, 8},
+		},
+		Run: func(ctx context.Context, cfg exp.RunConfig) (*exp.Result, error) {
+			tb := measure.Table{Title: "doubling", Header: []string{"n", "2n"}}
+			for _, n := range cfg.Sizes {
+				tb.AddRow(n, 2*n)
+			}
+			return &exp.Result{Name: "example-doubling", Tables: []measure.Table{tb}}, nil
+		},
+	})
+	if err != nil {
+		fmt.Println("register:", err)
+		return
+	}
+
+	e, _ := exp.Lookup("example-doubling")
+	res, err := e.Run(context.Background(), exp.RunConfig{Sizes: []int{10, 20}})
+	if err != nil {
+		fmt.Println("run:", err)
+		return
+	}
+	fmt.Println(res.Name)
+	for _, row := range res.Tables[0].Rows {
+		fmt.Println(row)
+	}
+	// Output:
+	// example-doubling
+	// [10 20]
+	// [20 40]
+}

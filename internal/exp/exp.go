@@ -7,10 +7,22 @@
 // a context-aware Run function returning a JSON-native Result. Callers
 // discover experiments with List/Lookup instead of hard-wiring drivers, so
 // adding a scenario is one Register call rather than edits across three
-// files.
+// files. docs/EXPERIMENTS.md maps each catalog entry to the paper claim it
+// reproduces.
 //
-// The sweep drivers themselves also live here (drivers.go); the former
-// driver package internal/core remains as thin legacy wrappers around them.
+// Decomposable experiments additionally declare a Plan: one independently
+// schedulable Task per sweep point (task.go), each carrying a seed derived
+// via PointSeed — a pure function of (experiment, point), never of
+// scheduling. RunBatch (runner.go) schedules tasks across a bounded worker
+// pool and reassembles outputs positionally, so the aggregate is canonically
+// byte-identical to a serial run under any -jobs level, simulator
+// parallelism, or shard count. Results persist in canonical form
+// (persist.go: Canonical/WriteResults/LoadResults) and Compare diffs two
+// persisted sets as a regression check.
+//
+// The sweep drivers themselves also live here (drivers.go), declared as
+// sweepSpec values whose point functions feed both the serial legacy API
+// (Hierarchical35, Weighted25, ...) and the task planner.
 package exp
 
 import (
@@ -44,6 +56,12 @@ type RunConfig struct {
 	// experiments ignore it; results are identical at every level either
 	// way.
 	Parallelism int
+	// Shards is the simulator shard count for simulator-backed experiments
+	// (0 or 1 = unsharded, < 0 = GOMAXPROCS): the tree is partitioned into
+	// contiguous node-range shards exchanging only boundary messages (see
+	// sim.WithShards). Analytic experiments ignore it; canonical results are
+	// byte-identical at every shard count.
+	Shards int
 }
 
 // Experiment is one registered, runnable scenario.
@@ -70,14 +88,26 @@ type Experiment struct {
 	Plan func(cfg RunConfig) (*TaskPlan, error)
 }
 
+// SchemaVersion is the version of the Result JSON schema, stamped into
+// every emitted result so persisted files are self-describing.
+//
+// History: version 1 (unstamped; files without a "schema" field) is the
+// PR 1-3 format. Version 2 adds the "schema" and "shards" fields and makes
+// the canonical (persisted) form strip the execution-mechanics fields
+// (parallelism, shards) alongside elapsed_ms. See README "JSON output
+// schema".
+const SchemaVersion = 2
+
 // Result is the JSON-native outcome of one experiment run.
 type Result struct {
+	Schema      int             `json:"schema,omitempty"`
 	Name        string          `json:"name"`
 	Theory      string          `json:"theory,omitempty"`
 	Preset      string          `json:"preset,omitempty"`
 	Sizes       []int           `json:"sizes,omitempty"`
 	Seed        uint64          `json:"seed,omitempty"`
 	Parallelism int             `json:"parallelism,omitempty"`
+	Shards      int             `json:"shards,omitempty"`
 	ElapsedMS   float64         `json:"elapsed_ms"`
 	Tables      []measure.Table `json:"tables"`
 	Fit         *Fit            `json:"fit,omitempty"`
@@ -123,12 +153,14 @@ func (e *Experiment) seedFor(cfg RunConfig) uint64 {
 // newResult stamps the shared metadata of a run outcome.
 func (e *Experiment) newResult(cfg RunConfig, preset string, sizes []int, started time.Time) *Result {
 	return &Result{
+		Schema:      SchemaVersion,
 		Name:        e.Name,
 		Theory:      e.Theory,
 		Preset:      preset,
 		Sizes:       sizes,
 		Seed:        e.seedFor(cfg),
 		Parallelism: cfg.Parallelism,
+		Shards:      cfg.Shards,
 		ElapsedMS:   float64(time.Since(started).Microseconds()) / 1000,
 	}
 }
@@ -174,7 +206,7 @@ func sweepExperiment(name, description, theory string, presets map[string][]int,
 			return nil, fmt.Errorf("exp: %s: %w", e.Name, err)
 		}
 		started := time.Now()
-		sr, err := s.runSerial(ctx, sizes, e.seedFor(cfg), cfg.Parallelism)
+		sr, err := s.runSerial(ctx, sizes, e.seedFor(cfg), engCfg(cfg))
 		if err != nil {
 			return nil, fmt.Errorf("exp: %s: %w", e.Name, err)
 		}
@@ -214,7 +246,7 @@ func sweepExperiment(name, description, theory string, presets map[string][]int,
 					if err := sweepStep(ctx); err != nil {
 						return nil, err
 					}
-					p, err := s.point(ctx, val, pseed, cfg.Parallelism)
+					p, err := s.point(ctx, val, pseed, engCfg(cfg))
 					if err != nil {
 						return nil, fmt.Errorf("exp: %s: %w", e.Name, err)
 					}

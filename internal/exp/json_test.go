@@ -13,9 +13,12 @@ func TestResultJSONSchema(t *testing.T) {
 	if !ok {
 		t.Fatal("twocoloring-gap not registered")
 	}
-	res, err := e.Run(context.Background(), RunConfig{Preset: PresetQuick, Parallelism: 2})
+	res, err := e.Run(context.Background(), RunConfig{Preset: PresetQuick, Parallelism: 2, Shards: 2})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if res.Schema != SchemaVersion {
+		t.Fatalf("result schema = %d, want %d", res.Schema, SchemaVersion)
 	}
 	raw, err := json.Marshal(res)
 	if err != nil {
@@ -25,8 +28,8 @@ func TestResultJSONSchema(t *testing.T) {
 	if err := json.Unmarshal(raw, &m); err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"name", "theory", "preset", "sizes", "seed",
-		"parallelism", "elapsed_ms", "tables", "fit"} {
+	for _, key := range []string{"schema", "name", "theory", "preset", "sizes", "seed",
+		"parallelism", "shards", "elapsed_ms", "tables", "fit"} {
 		if _, ok := m[key]; !ok {
 			t.Errorf("result JSON missing key %q", key)
 		}

@@ -17,12 +17,17 @@ import (
 	"repro/internal/measure"
 )
 
-// Canonical returns a copy of res with the volatile fields zeroed
-// (ElapsedMS is wall-clock and differs run to run), so two runs of the same
-// experiment at the same preset and seed marshal to identical bytes.
+// Canonical returns a copy of res with the volatile and execution-mechanics
+// fields zeroed: ElapsedMS is wall-clock and differs run to run, and
+// Parallelism and Shards describe how the run was scheduled, not what it
+// computed (results are identical at every setting). Two runs of the same
+// experiment at the same preset and seed therefore marshal to identical
+// bytes regardless of -jobs, -parallel, or -shards.
 func Canonical(res *Result) *Result {
 	c := *res
 	c.ElapsedMS = 0
+	c.Parallelism = 0
+	c.Shards = 0
 	return &c
 }
 

@@ -1,0 +1,8 @@
+//go:build race
+
+package exp
+
+// raceEnabled reports whether the race detector is compiled in; the long
+// stress-preset equivalence sweep skips under it (raced engine rounds are
+// ~10x slower and the quick/standard sweeps already cover the contract).
+const raceEnabled = true

@@ -1,7 +1,23 @@
-// Package graph provides the tree substrate used throughout the library:
-// bounded-degree trees, the constructions from the paper (paths, balanced
-// Δ-regular trees, k-hierarchical lower-bound graphs, weighted constructions),
-// and the level computation of Definition 8.
+// Package graph provides the tree substrate used throughout the library.
+//
+// A Tree is an immutable bounded-degree tree stored as adjacency lists;
+// immutability is what lets one built instance be shared freely across
+// goroutines, cache entries (package inst), and simulation shards. Trees are
+// constructed incrementally with a Builder or through the Build* entry
+// points covering the paper's instance families and the generic test
+// shapes:
+//
+//   - BuildPath, BuildStar, BuildCaterpillar, BuildBalanced — simple
+//     parametric shapes (paths and the balanced Δ-regular weight trees of
+//     Lemma 23, plus star/caterpillar test workloads);
+//   - BuildHierarchical — the k-hierarchical lower-bound graphs of
+//     Definition 18, returned with their construction metadata
+//     (per-level paths, construction levels);
+//   - ComputeLevels (levels.go) — the peeling level computation of
+//     Definition 8, which solvers and verifiers use instead of the
+//     construction levels;
+//   - InducedComponents (subgraph.go) — connected components of an induced
+//     subgraph, re-indexed as standalone Trees.
 //
 // Nodes are identified by dense indices 0..N-1. Indices are a property of the
 // *construction*, not of the LOCAL model; distributed identifiers are assigned

@@ -21,7 +21,10 @@
 // accounted by its full node count in the same LRU.
 //
 // Callers must treat returned values as read-only: trees, input slices, and
-// the Hierarchical metadata around them are shared across goroutines.
+// the Hierarchical metadata around them are shared across goroutines. That
+// read-only sharing is also what the sharded simulation backend relies on:
+// every shard of a sharded run steps its node range of the same cached tree,
+// so sharding adds no instance builds and no extra cache occupancy.
 package inst
 
 import (

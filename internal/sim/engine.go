@@ -21,12 +21,18 @@ import (
 // next[u][port-back-to-v], which no other node writes. Rounds, outputs, and
 // message counts are therefore bit-identical between sequential and parallel
 // executions.
+//
+// The sharded backend (WithShards) instead partitions the tree into
+// contiguous node-range shards with private state, exchanging only
+// cross-shard boundary messages at the round barrier; see shard.go. It is
+// equally bit-identical to the sequential backend.
 type Engine struct {
 	ids         []uint64
 	inputs      []any
 	maxRounds   int
 	ctx         context.Context
 	parallelism int
+	shards      int
 }
 
 // Option configures an Engine.
@@ -55,8 +61,19 @@ func WithContext(ctx context.Context) Option {
 
 // WithParallelism sets the number of workers stepping nodes within a round.
 // 0 (the zero value) and 1 select the sequential backend; n < 0 selects
-// GOMAXPROCS workers.
+// GOMAXPROCS workers. It applies to the unsharded backend only; under
+// WithShards(k > 1) the shards themselves are the units of concurrency.
 func WithParallelism(n int) Option { return func(e *Engine) { e.parallelism = n } }
+
+// WithShards partitions the tree into k contiguous node-range shards, each
+// with its own machines and message buffers, run as independent per-round
+// executors that exchange only cross-shard boundary messages through an
+// in-memory bus between rounds (see shard.go). 0 and 1 select the unsharded
+// backends; k < 0 selects GOMAXPROCS shards; k > n is capped at n. Rounds,
+// outputs, and message counts are bit-identical to the sequential backend at
+// every shard count; sharded runs additionally report per-shard statistics
+// in Result.Shards.
+func WithShards(k int) Option { return func(e *Engine) { e.shards = k } }
 
 // NewEngine builds an engine from options. The zero configuration is a
 // sequential run with default IDs, no inputs, and the default round limit.
@@ -89,6 +106,17 @@ func (e *Engine) Run(t *graph.Tree, alg Algorithm) (*Result, error) {
 	maxRounds := e.maxRounds
 	if maxRounds == 0 {
 		maxRounds = 4*n + 64
+	}
+	if shards := e.shards; shards > 1 || shards < 0 {
+		if shards < 0 {
+			shards = runtime.GOMAXPROCS(0)
+		}
+		if shards > n {
+			shards = n
+		}
+		if shards > 1 {
+			return e.runSharded(t, alg, ids, maxRounds, shards)
+		}
 	}
 	workers := e.parallelism
 	if workers < 0 {

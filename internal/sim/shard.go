@@ -1,0 +1,411 @@
+package sim
+
+// The sharded backend: one simulation partitioned into k contiguous
+// node-range shards that execute rounds independently and exchange only the
+// messages crossing shard boundaries through a shardBus at the round
+// barrier.
+//
+// Each shard owns the machines, inboxes, and send buffers of its node range
+// and steps them exactly like the sequential backend. A message from a local
+// node to a local neighbor is written directly into the neighbor's receive
+// slot; a message to a node of another shard is queued as a boundaryMsg and
+// delivered by the bus between the step and redeliver phases. Frozen outputs
+// of terminated boundary nodes cross the bus exactly once (as a fill
+// message); the receiving shard mirrors them and redelivers locally in every
+// later round, so steady-state frozen redelivery costs no bus traffic — the
+// same zero-cost convention the sequential backend implements with its
+// cached Terminated values.
+//
+// Determinism: every receive slot inbox[u][q] has exactly one writer (the
+// neighbor v behind port q, or the bus acting for it), so delivery order
+// never affects what a machine observes, and Rounds, Outputs, TotalRounds,
+// and Messages are bit-identical to the sequential backend at every shard
+// count. The bus is the single seam through which a shard learns anything
+// about other shards' nodes, which is what makes it the attachment point for
+// a future multi-process executor: replace the in-memory exchange with a
+// network transport and nothing else changes.
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// ShardStats describes what one shard observed over a sharded run.
+type ShardStats struct {
+	// Shard is the shard index; shard i owns the i-th contiguous node range.
+	Shard int `json:"shard"`
+	// Nodes is the number of nodes the shard owns.
+	Nodes int `json:"nodes"`
+	// BoundaryEdges counts edges with exactly one endpoint in this shard.
+	BoundaryEdges int `json:"boundary_edges"`
+	// MessagesCrossed counts real (non-nil) messages sent by this shard's
+	// nodes to nodes of other shards. Frozen-output fills cross the bus once
+	// per (terminated boundary node, cross edge) and are not counted, in
+	// keeping with the zero-message-cost redelivery convention.
+	MessagesCrossed int64 `json:"messages_crossed"`
+	// ActiveRounds counts rounds in which the shard still hosted at least
+	// one undecided node.
+	ActiveRounds int `json:"active_rounds"`
+}
+
+// boundaryMsg is one unit of cross-shard traffic: a payload for the receive
+// slot (dst, port). A fill message carries a terminated node's frozen output;
+// it only lands in an empty slot (a real message sent in the terminating
+// round takes precedence) and is mirrored by the receiving shard for local
+// redelivery in all later rounds.
+type boundaryMsg struct {
+	dst     int
+	port    int32
+	fill    bool
+	payload any
+}
+
+// mirrorEdge records a remote neighbor's frozen output and the local receive
+// slot it keeps filling: once a fill message for (node, port) arrives, the
+// owning shard redelivers val into that slot in every later round, with no
+// further bus traffic.
+type mirrorEdge struct {
+	node int
+	port int32
+	val  any
+}
+
+// shardPhase selects the work a shard executor performs at a barrier step.
+type shardPhase int
+
+const (
+	// phaseStep runs one synchronous round for the shard's undecided nodes.
+	phaseStep shardPhase = iota
+	// phaseFinish redelivers frozen outputs (local and mirrored) and swaps
+	// the shard's receive/send buffers, completing the round.
+	phaseFinish
+)
+
+type shardCmd struct {
+	phase shardPhase
+	round int
+}
+
+// shard is one contiguous node range [lo, hi) with private execution state.
+// All slices are indexed by local offset v - lo.
+type shard struct {
+	r         *shardRun
+	idx       int
+	lo, hi    int
+	remaining int
+
+	machines []Machine
+	done     []bool
+	frozen   []any
+	inbox    [][]any
+	next     [][]any
+
+	// outbox[t] queues this round's boundary messages for shard t; the bus
+	// drains it at the barrier and the backing arrays are reused.
+	outbox [][]boundaryMsg
+	// mirror accumulates the frozen outputs of terminated remote neighbors,
+	// redelivered locally in every later round.
+	mirror []mirrorEdge
+
+	stats ShardStats
+	fins  int   // terminations this round, drained by the coordinator
+	msgs  int64 // sends this round, drained by the coordinator
+	err   error
+
+	cmd chan shardCmd
+	ack chan struct{}
+}
+
+// shardBus exchanges boundary messages between shards at the round barrier.
+// Delivery iterates destinations and sources in index order, but order is
+// immaterial for the results: each receive slot has a single writer.
+type shardBus struct {
+	shards []*shard
+}
+
+// exchange drains every shard's outboxes into the destination shards'
+// receive buffers. Real messages are written unconditionally (the slot's only
+// writer is the sender); fill messages land only in empty slots and are
+// mirrored by the destination for later local redelivery.
+func (b *shardBus) exchange() {
+	for _, dst := range b.shards {
+		for _, src := range b.shards {
+			if src == dst {
+				continue
+			}
+			q := src.outbox[dst.idx]
+			for i := range q {
+				m := &q[i]
+				slot := &dst.next[m.dst-dst.lo][m.port]
+				if !m.fill {
+					*slot = m.payload
+					continue
+				}
+				if *slot == nil {
+					*slot = m.payload
+				}
+				dst.mirror = append(dst.mirror, mirrorEdge{node: m.dst, port: m.port, val: m.payload})
+			}
+			src.outbox[dst.idx] = q[:0]
+		}
+	}
+}
+
+// shardRun is the mutable state of one sharded execution.
+type shardRun struct {
+	t         *graph.Tree
+	alg       Algorithm
+	maxRounds int
+	chunk     int // shardOf(v) = v / chunk
+	shards    []*shard
+	bus       *shardBus
+	portOf    [][]int
+	res       *Result
+}
+
+// runSharded executes alg across k > 1 shards. IDs and inputs are already
+// validated by Run.
+func (e *Engine) runSharded(t *graph.Tree, alg Algorithm, ids []uint64, maxRounds, k int) (*Result, error) {
+	n := t.N()
+	chunk := (n + k - 1) / k
+	r := &shardRun{
+		t:         t,
+		alg:       alg,
+		maxRounds: maxRounds,
+		chunk:     chunk,
+		portOf:    reversePorts(t),
+		res: &Result{
+			Rounds:  make([]int, n),
+			Outputs: make([]any, n),
+		},
+	}
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		size := hi - lo
+		sh := &shard{
+			r:         r,
+			idx:       len(r.shards),
+			lo:        lo,
+			hi:        hi,
+			remaining: size,
+			machines:  make([]Machine, size),
+			done:      make([]bool, size),
+			frozen:    make([]any, size),
+			inbox:     make([][]any, size),
+			next:      make([][]any, size),
+			cmd:       make(chan shardCmd),
+			ack:       make(chan struct{}),
+		}
+		sh.stats = ShardStats{Shard: sh.idx, Nodes: size}
+		r.shards = append(r.shards, sh)
+	}
+	for _, sh := range r.shards {
+		sh.outbox = make([][]boundaryMsg, len(r.shards))
+		for v := sh.lo; v < sh.hi; v++ {
+			i := v - sh.lo
+			var input any
+			if e.inputs != nil {
+				input = e.inputs[v]
+			}
+			sh.machines[i] = alg.NewMachine(NodeInfo{
+				ID:     ids[v],
+				Degree: t.Degree(v),
+				N:      n,
+				Input:  input,
+			})
+			sh.inbox[i] = make([]any, t.Degree(v))
+			sh.next[i] = make([]any, t.Degree(v))
+			for _, w := range t.NeighborsRaw(v) {
+				if int(w)/chunk != sh.idx {
+					sh.stats.BoundaryEdges++
+				}
+			}
+		}
+	}
+	r.bus = &shardBus{shards: r.shards}
+	return r.execute(e)
+}
+
+// execute drives the round loop: step all shards, exchange boundary
+// messages, redeliver and swap, until every node terminated. Shard executors
+// are persistent goroutines commanded phase by phase; the coordinator owns
+// the round barrier, the termination count, and the cancellation checks.
+func (r *shardRun) execute(e *Engine) (*Result, error) {
+	for _, sh := range r.shards {
+		go sh.loop()
+	}
+	defer func() {
+		for _, sh := range r.shards {
+			close(sh.cmd)
+		}
+	}()
+	remaining := 0
+	for _, sh := range r.shards {
+		remaining += sh.remaining
+	}
+	for round := 0; ; round++ {
+		if remaining == 0 {
+			r.res.TotalRounds = round
+			r.res.Shards = make([]ShardStats, len(r.shards))
+			for i, sh := range r.shards {
+				r.res.Shards[i] = sh.stats
+			}
+			return r.res, nil
+		}
+		if round > r.maxRounds {
+			return nil, fmt.Errorf("%w: algorithm %q, n=%d, limit=%d",
+				ErrRoundLimit, r.alg.Name(), r.t.N(), r.maxRounds)
+		}
+		if err := e.ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sim: algorithm %q canceled at round %d: %w",
+				r.alg.Name(), round, err)
+		}
+		r.barrier(shardCmd{phase: phaseStep, round: round})
+		// Drain per-round counters lowest shard first so the reported error
+		// is deterministic (the same node order the sequential backend
+		// observes failures in).
+		for _, sh := range r.shards {
+			if sh.err != nil {
+				return nil, sh.err
+			}
+			remaining -= sh.fins
+			r.res.Messages += sh.msgs
+			sh.fins, sh.msgs = 0, 0
+		}
+		r.bus.exchange()
+		r.barrier(shardCmd{phase: phaseFinish})
+	}
+}
+
+// barrier broadcasts one phase command to every shard executor and waits for
+// all of them to finish it.
+func (r *shardRun) barrier(c shardCmd) {
+	for _, sh := range r.shards {
+		sh.cmd <- c
+	}
+	for _, sh := range r.shards {
+		<-sh.ack
+	}
+}
+
+// loop is the shard's executor goroutine: it performs one phase per command
+// until the coordinator closes the channel.
+func (sh *shard) loop() {
+	for c := range sh.cmd {
+		switch c.phase {
+		case phaseStep:
+			sh.step(c.round)
+		case phaseFinish:
+			sh.redeliver()
+			sh.inbox, sh.next = sh.next, sh.inbox
+		}
+		sh.ack <- struct{}{}
+	}
+}
+
+// step runs one round for the shard's undecided nodes: the sharded
+// counterpart of stepRange, with sends to remote nodes diverted into the
+// outboxes instead of written directly.
+func (sh *shard) step(round int) {
+	if sh.remaining == 0 {
+		return
+	}
+	sh.stats.ActiveRounds++
+	r := sh.r
+	for v := sh.lo; v < sh.hi; v++ {
+		i := v - sh.lo
+		if sh.done[i] {
+			continue
+		}
+		send, fin := sh.machines[i].Step(round, sh.inbox[i])
+		deg := r.t.Degree(v)
+		for p := 0; p < len(send) && p < deg; p++ {
+			if send[p] == nil {
+				continue
+			}
+			u := r.t.Neighbor(v, p)
+			q := r.portOf[v][p]
+			sh.msgs++
+			if t := u / r.chunk; t != sh.idx {
+				sh.outbox[t] = append(sh.outbox[t],
+					boundaryMsg{dst: u, port: int32(q), payload: send[p]})
+				sh.stats.MessagesCrossed++
+			} else {
+				sh.next[u-sh.lo][q] = send[p]
+			}
+		}
+		// Clear only after the sends are copied out: a machine may return its
+		// recv slice as send (the boundary queue holds interface copies, so
+		// queued payloads survive the clear).
+		clearAny(sh.inbox[i])
+		if fin {
+			sh.done[i] = true
+			sh.remaining--
+			sh.fins++
+			r.res.Rounds[v] = round
+			out := sh.machines[i].Output()
+			if out == nil {
+				sh.err = fmt.Errorf("%w: algorithm %q node %d",
+					ErrNilOutput, r.alg.Name(), v)
+				return
+			}
+			r.res.Outputs[v] = out
+			sh.frozen[i] = Terminated{Output: out}
+			// Neighbors observe the frozen output from the next round on; a
+			// real message sent in the terminating round takes precedence.
+			// Cross-shard ports ship the frozen value once as a fill message,
+			// after any real send queued above, so the bus preserves the
+			// precedence rule.
+			for p := 0; p < deg; p++ {
+				u := r.t.Neighbor(v, p)
+				q := r.portOf[v][p]
+				if t := u / r.chunk; t != sh.idx {
+					sh.outbox[t] = append(sh.outbox[t],
+						boundaryMsg{dst: u, port: int32(q), fill: true, payload: sh.frozen[i]})
+				} else if slot := &sh.next[u-sh.lo][q]; *slot == nil {
+					*slot = sh.frozen[i]
+				}
+			}
+		}
+	}
+}
+
+// redeliver keeps frozen outputs visible to still-active local nodes: local
+// terminated neighbors directly (like redeliverRange), remote ones through
+// the mirror populated by fill messages — both at zero message cost.
+func (sh *shard) redeliver() {
+	r := sh.r
+	for i, d := range sh.done {
+		if !d {
+			continue
+		}
+		v := sh.lo + i
+		fz := sh.frozen[i]
+		for p := 0; p < r.t.Degree(v); p++ {
+			u := r.t.Neighbor(v, p)
+			if u/r.chunk != sh.idx {
+				continue // the owning shard redelivers from its mirror
+			}
+			j := u - sh.lo
+			if sh.done[j] {
+				continue
+			}
+			if slot := &sh.next[j][r.portOf[v][p]]; *slot == nil {
+				*slot = fz
+			}
+		}
+	}
+	for _, m := range sh.mirror {
+		j := m.node - sh.lo
+		if sh.done[j] {
+			continue
+		}
+		if slot := &sh.next[j][m.port]; *slot == nil {
+			*slot = m.val
+		}
+	}
+}

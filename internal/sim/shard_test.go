@@ -1,0 +1,264 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// coreResult strips the per-shard statistics, leaving the fields the
+// equivalence contract covers: Rounds, Outputs, TotalRounds, Messages.
+func coreResult(r *Result) Result {
+	c := *r
+	c.Shards = nil
+	return c
+}
+
+// shardShapes builds the adversarial boundary shapes of the equivalence
+// sweep: paths (boundaries cut one edge), stars (every leaf's edge crosses
+// once the center's range ends), caterpillars (legs straddle spine cuts),
+// hierarchical lower-bound trees (deep attachment structure), and a balanced
+// tree (wide fan-out near the cut).
+func shardShapes(t *testing.T) map[string]*graph.Tree {
+	t.Helper()
+	shapes := map[string]*graph.Tree{}
+	add := func(name string, tr *graph.Tree, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("building %s: %v", name, err)
+		}
+		shapes[name] = tr
+	}
+	p, err := graph.BuildPath(257)
+	add("path257", p, err)
+	s, err := graph.BuildStar(120)
+	add("star120", s, err)
+	c, err := graph.BuildCaterpillar(19, 6)
+	add("caterpillar19x6", c, err)
+	h, err := graph.BuildHierarchical([]int{5, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes["hierarchical5x11"] = h.Tree
+	b, err := graph.BuildBalanced(4, 200)
+	add("balanced4x200", b, err)
+	return shapes
+}
+
+// TestShardedEquivalence sweeps shard counts and adversarial boundary shapes:
+// every (shape, algorithm, k) combination must reproduce the sequential
+// Rounds, Outputs, TotalRounds, and Messages exactly. maxIDAlg exercises the
+// frozen-output mirror (terminated boundary nodes keep informing remote
+// neighbors); echoAlias exercises the inbox clear-after-queue ordering across
+// the bus.
+func TestShardedEquivalence(t *testing.T) {
+	algs := []Algorithm{tickAlg{rounds: 6}, echoAlias{rounds: 9}, maxIDAlg{}}
+	for name, tr := range shardShapes(t) {
+		ids := DefaultIDs(tr.N(), 42)
+		for _, alg := range algs {
+			seq, err := NewEngine(WithIDs(ids)).Run(tr, alg)
+			if err != nil {
+				t.Fatalf("%s/%s sequential: %v", name, alg.Name(), err)
+			}
+			for _, k := range []int{1, 2, 3, 4, 7, 16, tr.N(), tr.N() + 5, -1} {
+				got, err := NewEngine(WithIDs(ids), WithShards(k)).Run(tr, alg)
+				if err != nil {
+					t.Fatalf("%s/%s shards=%d: %v", name, alg.Name(), k, err)
+				}
+				if !reflect.DeepEqual(coreResult(seq), coreResult(got)) {
+					t.Fatalf("%s/%s shards=%d diverges from sequential", name, alg.Name(), k)
+				}
+			}
+		}
+	}
+}
+
+// lastWordAlg is the directed final-round boundary probe: node 0 counts down
+// `rounds` rounds and, in its terminating round, sends the string "last-word"
+// to every neighbor; every other node terminates one round later and outputs
+// exactly what it received from port 0 in that final round. On a two-node
+// range split the 0→1 edge is a shard boundary, so node 1's output is correct
+// only if the bus delivers (a) the final-round real message and (b) gives it
+// precedence over node 0's simultaneous frozen-output fill. An off-by-one
+// exchange (deliver before the terminating round's sends, or fill first)
+// makes node 1 output the frozen Terminated value or nil instead.
+type lastWordAlg struct{ rounds int }
+
+func (a lastWordAlg) Name() string { return "last-word" }
+func (a lastWordAlg) NewMachine(info NodeInfo) Machine {
+	return &lastWordMachine{rounds: a.rounds, info: info}
+}
+
+type lastWordMachine struct {
+	rounds int
+	info   NodeInfo
+	heard  any
+}
+
+func (m *lastWordMachine) Step(round int, recv []any) ([]any, bool) {
+	if m.info.ID == 1 { // the speaker (SequentialIDs: node 0)
+		if round < m.rounds {
+			return nil, false
+		}
+		send := make([]any, m.info.Degree)
+		for i := range send {
+			send[i] = "last-word"
+		}
+		return send, true
+	}
+	if round <= m.rounds { // listeners wait out the speaker's countdown
+		return nil, false
+	}
+	m.heard = recv[0]
+	return nil, true
+}
+
+func (m *lastWordMachine) Output() any {
+	if m.info.ID == 1 {
+		return "spoke"
+	}
+	if m.heard == nil {
+		return "heard nothing"
+	}
+	return m.heard
+}
+
+// TestShardBoundaryFinalRoundMessage pins the cross-boundary exchange of the
+// terminating round: the listener across the shard cut must observe the
+// speaker's final real message, not its frozen output and not nothing.
+func TestShardBoundaryFinalRoundMessage(t *testing.T) {
+	tr := mustPath(t, 2)
+	ids := SequentialIDs(2) // node 0 is the speaker
+	const rounds = 5
+	for _, k := range []int{1, 2} {
+		res, err := NewEngine(WithIDs(ids), WithShards(k)).Run(tr, lastWordAlg{rounds: rounds})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", k, err)
+		}
+		if got := res.Outputs[1]; got != "last-word" {
+			t.Fatalf("shards=%d: listener output %v, want the final-round message", k, got)
+		}
+		if res.Rounds[0] != rounds || res.Rounds[1] != rounds+1 {
+			t.Fatalf("shards=%d: rounds = %v", k, res.Rounds)
+		}
+	}
+	// The same probe with the listener across a 3-shard cut of a longer path:
+	// every interior listener hears its port-0 neighbor's frozen output (the
+	// neighbor toward node 0 terminates in the same round), while node 1 —
+	// adjacent to the speaker — still hears the real message first.
+	tr = mustPath(t, 6)
+	res, err := NewEngine(WithIDs(SequentialIDs(6)), WithShards(3)).Run(tr, lastWordAlg{rounds: rounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := NewEngine(WithIDs(SequentialIDs(6))).Run(tr, lastWordAlg{rounds: rounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(coreResult(seq), coreResult(res)) {
+		t.Fatalf("sharded outputs %v diverge from sequential %v", res.Outputs, seq.Outputs)
+	}
+}
+
+// TestShardStats pins the per-shard accounting on a 10-node path split in
+// two: 5 nodes each, one boundary edge per shard, and — under
+// tickAlg{rounds: R} — exactly R real messages crossing in each direction.
+func TestShardStats(t *testing.T) {
+	const n, rounds = 10, 3
+	tr := mustPath(t, n)
+	res, err := NewEngine(WithIDs(DefaultIDs(n, 1)), WithShards(2)).Run(tr, tickAlg{rounds: rounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ShardStats{
+		{Shard: 0, Nodes: 5, BoundaryEdges: 1, MessagesCrossed: rounds, ActiveRounds: rounds + 1},
+		{Shard: 1, Nodes: 5, BoundaryEdges: 1, MessagesCrossed: rounds, ActiveRounds: rounds + 1},
+	}
+	if !reflect.DeepEqual(res.Shards, want) {
+		t.Fatalf("Shards = %+v, want %+v", res.Shards, want)
+	}
+	// Unsharded runs must not report shard statistics.
+	res, err = NewEngine(WithIDs(DefaultIDs(n, 1))).Run(tr, tickAlg{rounds: rounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != nil {
+		t.Fatalf("unsharded run reports Shards = %+v", res.Shards)
+	}
+}
+
+// TestShardedErrorPaths: the sharded backend must honor the round limit,
+// context cancellation, and the nil-output contract with the same sentinel
+// errors as the sequential backend.
+func TestShardedErrorPaths(t *testing.T) {
+	tr := mustPath(t, 64)
+	if _, err := NewEngine(WithShards(4), WithMaxRounds(3)).Run(tr, forever{}); !errors.Is(err, ErrRoundLimit) {
+		t.Fatalf("round limit: got %v, want ErrRoundLimit", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := NewEngine(WithShards(4), WithContext(ctx), WithMaxRounds(1<<30)).Run(tr, forever{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancellation: got %v, want wrapped context.Canceled", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("cancellation took %v, want prompt return", el)
+	}
+	cancel()
+	if _, err := NewEngine(WithShards(4)).Run(tr, nilOutputAlg{}); !errors.Is(err, ErrNilOutput) {
+		t.Fatalf("nil output: got %v, want ErrNilOutput", err)
+	}
+}
+
+// nilOutputAlg terminates immediately with a nil output on every node.
+type nilOutputAlg struct{}
+
+func (nilOutputAlg) Name() string                { return "nil-output" }
+func (nilOutputAlg) NewMachine(NodeInfo) Machine { return nilOutputMachine{} }
+
+type nilOutputMachine struct{}
+
+func (nilOutputMachine) Step(int, []any) ([]any, bool) { return nil, true }
+func (nilOutputMachine) Output() any                   { return nil }
+
+// BenchmarkShardedEngine measures the boundary-traffic overhead of the
+// sharded backend against the sequential baseline on the same workload:
+// tickAlg floods every edge every round, so each additional shard adds two
+// boundary edges' worth of bus traffic per round on a path.
+func BenchmarkShardedEngine(b *testing.B) {
+	const n, rounds = 4096, 32
+	tr, err := graph.BuildPath(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := DefaultIDs(n, 1)
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
+			eng := NewEngine(WithIDs(ids), WithShards(k))
+			b.ReportAllocs()
+			b.ResetTimer()
+			var crossed int64
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Run(tr, tickAlg{rounds: rounds})
+				if err != nil {
+					b.Fatal(err)
+				}
+				crossed = 0
+				for _, s := range res.Shards {
+					crossed += s.MessagesCrossed
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n*rounds), "ns/node-round")
+			b.ReportMetric(float64(crossed), "boundary-msgs/run")
+		})
+	}
+}

@@ -15,6 +15,26 @@
 // visible to their neighbors (this is the standard convention, and the
 // weighted LCLs of the paper rely on neighbors observing outputs of
 // terminated nodes).
+//
+// # Engine and backends
+//
+// Executions run through an Engine configured by functional options
+// (NewEngine, WithIDs, WithInputs, WithMaxRounds, WithContext,
+// WithParallelism, WithShards). Three backends share one semantics:
+//
+//   - sequential: one goroutine steps all nodes in index order;
+//   - parallel (WithParallelism): the nodes of each round are stepped
+//     across a worker pool behind the synchronous-round barrier;
+//   - sharded (WithShards): the tree is partitioned into contiguous
+//     node-range shards with private machines and message buffers,
+//     exchanging only cross-shard boundary messages through an in-memory
+//     bus between rounds (the seam a multi-process executor plugs into).
+//
+// All three produce bit-identical Rounds, Outputs, TotalRounds, and
+// Messages for the same IDs and inputs; sharded runs additionally report
+// per-shard statistics in Result.Shards. Determinism rests on a single
+// invariant: within a round, the receive slot of a directed edge has
+// exactly one writer.
 package sim
 
 import (
@@ -80,6 +100,11 @@ type Result struct {
 	TotalRounds int
 	// Messages is the total number of non-nil messages delivered.
 	Messages int64
+	// Shards holds per-shard execution statistics when the run used the
+	// sharded backend (WithShards); nil otherwise. Rounds, Outputs,
+	// TotalRounds, and Messages are bit-identical across all shard counts —
+	// only this field distinguishes a sharded result.
+	Shards []ShardStats
 }
 
 // NodeAveraged returns (1/n) * sum_v T_v.

@@ -26,10 +26,13 @@
 //     experiments — across a bounded worker pool with per-task contexts and
 //     first-failure cancellation, reassembling outputs positionally so the
 //     aggregate is canonically byte-identical to the serial run; the
-//     simulation engine (internal/sim) adds round-internal parallelism
-//     below it via functional options — sim.NewEngine(sim.WithIDs(...),
-//     sim.WithParallelism(n)).Run(tree, alg) — with sequential and parallel
-//     runs bit-identical.
+//     simulation engine (internal/sim) adds round-internal parallelism and
+//     sharding below it via functional options — sim.NewEngine(
+//     sim.WithIDs(...), sim.WithParallelism(n), sim.WithShards(k)).Run(
+//     tree, alg) — with sequential, parallel, and sharded runs
+//     bit-identical (sharded runs partition the tree into node-range
+//     shards exchanging only boundary messages, and report per-shard
+//     statistics).
 //
 //   - Emission: RunBatch streams each Result as NDJSON the moment it
 //     finishes while keeping the aggregate deterministic (registry order);
