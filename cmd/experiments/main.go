@@ -6,13 +6,22 @@
 //
 // With no flags it regenerates every experiment of the per-experiment index
 // in DESIGN.md at the standard preset, in the historical output order.
-// -jobs N executes up to N experiments concurrently; aggregate output stays
-// in registry order regardless of completion order. -out persists canonical
-// (elapsed-stripped) result JSON — one file per run under a directory, or a
-// single array when the path ends in .json — and the compare subcommand
-// diffs two such result sets as a regression check:
+// -jobs N executes up to N tasks concurrently in process; -workers N
+// instead dispatches tasks to N worker subprocesses over the NDJSON worker
+// protocol (docs/DISTRIBUTED.md) with instance-affinity grouping. Aggregate
+// output stays in registry order — and canonically byte-identical to a
+// serial run — regardless of completion order, jobs, or worker count. -out
+// persists canonical (elapsed-stripped) result JSON — one file per run
+// under a directory, or a single array when the path ends in .json — and
+// the compare subcommand diffs two such result sets as a regression check:
 //
 //	experiments compare [-tol 0.05] [-json] OLD NEW
+//
+// The worker subcommand is the subprocess side of -workers: it speaks the
+// worker protocol over stdin/stdout and is spawned by the orchestrating
+// experiments process, not by hand:
+//
+//	experiments worker
 //
 // Examples:
 //
@@ -21,6 +30,7 @@
 //	experiments -run twocoloring-gap -preset quick -json
 //	experiments -run twocoloring-gap -shards 4
 //	experiments -run all -preset quick -jobs 4 -out results/
+//	experiments -run all -preset quick -workers 4 -cache-stats
 //	experiments -preset stress -markdown
 //	experiments compare results-main/ results-branch/
 package main
@@ -47,6 +57,15 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "worker" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		if err := repro.RunWorker(ctx, os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		list       = flag.Bool("list", false, "list registered experiments and exit (with -json: machine-readable catalog)")
 		run        = flag.String("run", "", `comma-separated experiment names ("" or "all": every experiment)`)
@@ -54,7 +73,9 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit a JSON array of results (registry order)")
 		ndjson     = flag.Bool("ndjson", false, "stream one JSON result per line as each experiment finishes (completion order)")
 		markdown   = flag.Bool("markdown", false, "emit GitHub-flavored markdown")
-		jobs       = flag.Int("jobs", 1, "number of experiments to run concurrently")
+		jobs       = flag.Int("jobs", 1, "number of tasks to run concurrently in process")
+		workers    = flag.Int("workers", 0, "number of worker subprocesses: tasks are dispatched over the NDJSON worker protocol with instance-affinity grouping (0 = in-process; see docs/DISTRIBUTED.md); results are identical at every count")
+		retry      = flag.Bool("worker-retry", false, "retry a crashed worker's tasks once on a fresh worker before failing the batch")
 		parallel   = flag.Int("parallel", 1, "simulator worker count (-1 = GOMAXPROCS)")
 		shards     = flag.Int("shards", 0, "simulator shard count: partition each simulated tree into contiguous node-range shards (0/1 = unsharded, -1 = GOMAXPROCS); results are identical at every count")
 		seed       = flag.Uint64("seed", 0, "override the experiments' default ID seeds (0 = defaults)")
@@ -71,7 +92,8 @@ func main() {
 	err := mainE(ctx, options{
 		list: *list, run: *run, preset: *preset,
 		jsonOut: *jsonOut, ndjson: *ndjson, markdown: *markdown,
-		jobs: *jobs, parallel: *parallel, shards: *shards, seed: *seed,
+		jobs: *jobs, workers: *workers, workerRetry: *retry,
+		parallel: *parallel, shards: *shards, seed: *seed,
 		out: *out, cacheStats: *cacheStats,
 	})
 	if err != nil {
@@ -82,8 +104,9 @@ func main() {
 
 type options struct {
 	list, jsonOut, ndjson, markdown, cacheStats bool
+	workerRetry                                 bool
 	run, preset, out                            string
-	jobs, parallel, shards                      int
+	jobs, workers, parallel, shards             int
 	seed                                        uint64
 }
 
@@ -94,20 +117,35 @@ func mainE(ctx context.Context, opts options) error {
 	if opts.jsonOut && opts.ndjson {
 		return fmt.Errorf("-json and -ndjson both write to stdout; pick one")
 	}
+	if opts.jobs > 1 && opts.workers > 0 {
+		return fmt.Errorf("-jobs and -workers select different backends (in-process pool vs worker subprocesses); pick one")
+	}
 	exps, err := selectExperiments(opts.run)
 	if err != nil {
 		return err
 	}
 	batch := repro.BatchOptions{
-		Jobs:   opts.jobs,
-		Config: repro.RunConfig{Preset: opts.preset, Seed: opts.seed, Parallelism: opts.parallel, Shards: opts.shards},
+		Jobs:        opts.jobs,
+		Workers:     opts.workers,
+		WorkerRetry: opts.workerRetry,
+		Config:      repro.RunConfig{Preset: opts.preset, Seed: opts.seed, Parallelism: opts.parallel, Shards: opts.shards},
 	}
 	if opts.ndjson {
 		batch.Stream = os.Stdout
 	}
+	var workerStats []repro.WorkerStats
+	if opts.workers > 0 && opts.cacheStats {
+		// With subprocess workers the orchestrator's own cache sits idle;
+		// collect each worker's shutdown snapshot instead.
+		batch.OnWorkerStats = func(ws repro.WorkerStats) { workerStats = append(workerStats, ws) }
+	}
 	results, err := repro.RunBatch(ctx, exps, batch)
 	if opts.cacheStats {
-		printCacheStats()
+		if opts.workers > 0 {
+			printWorkerStats(workerStats)
+		} else {
+			printCacheStats()
+		}
 	}
 	if err != nil {
 		return err
@@ -205,6 +243,21 @@ func printCacheStats() {
 			"  %-12s %d builds, %d hits, %.1fms building, %d entries / %d nodes\n",
 			kind, ks.Builds, ks.Hits,
 			float64(ks.BuildTime.Microseconds())/1000, ks.Entries, ks.Nodes)
+	}
+}
+
+// printWorkerStats renders each worker subprocess's shutdown cache
+// snapshot: with affinity dispatch, tasks sharing a hierarchical core show
+// up as one worker's builds plus hits instead of duplicate builds spread
+// across processes.
+func printWorkerStats(stats []repro.WorkerStats) {
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Worker < stats[j].Worker })
+	for _, ws := range stats {
+		s := ws.Cache
+		fmt.Fprintf(os.Stderr,
+			"worker %d: %d tasks; instance cache: %d hits, %d misses (%d builds), %.1fms building, %d entries / %d nodes cached\n",
+			ws.Worker, ws.Tasks, s.Hits, s.Misses, s.Builds,
+			float64(s.BuildTime.Microseconds())/1000, s.Entries, s.Nodes)
 	}
 }
 

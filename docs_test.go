@@ -6,11 +6,14 @@ package repro
 // ROADMAP, or the architecture docs.
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
+
+	"repro/internal/exp"
 )
 
 // mdLink matches inline markdown links [text](target); reference-style
@@ -34,6 +37,26 @@ func docFiles(t *testing.T) []string {
 		t.Fatal("no markdown files found; is the test running from the repo root?")
 	}
 	return files
+}
+
+// TestDistributedDocCoversFrames: docs/DISTRIBUTED.md is the normative
+// worker-protocol specification, so it must document every frame type the
+// implementation actually emits — each discriminator has to appear both as
+// a named frame and inside a JSON example line.
+func TestDistributedDocCoversFrames(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("docs", "DISTRIBUTED.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(raw)
+	for _, frame := range exp.FrameTypes() {
+		if !strings.Contains(doc, "`"+frame+"`") {
+			t.Errorf("docs/DISTRIBUTED.md never names the %q frame", frame)
+		}
+		if !strings.Contains(doc, fmt.Sprintf("{\"type\":%q", frame)) {
+			t.Errorf("docs/DISTRIBUTED.md has no JSON example of the %q frame", frame)
+		}
+	}
 }
 
 // TestDocLinksResolve fails on any intra-repo markdown link whose target

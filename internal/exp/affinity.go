@@ -1,0 +1,73 @@
+package exp
+
+// Affinity-aware dispatch: the multi-process backend routes tasks sharing a
+// hierarchical instance core (Task.Affinity, derived from inst.Key.Core) to
+// the same worker process. A worker's instance cache is process-local, so
+// without affinity every worker that happens to receive one task of a
+// composite family rebuilds the shared core tree; with it, each core — and
+// every composite built on it — is constructed in exactly one process,
+// which maximizes per-process cache hits and bounds the batch's peak
+// resident memory to roughly one core family per worker. Assignment is a
+// pure function of the canonical task order and the worker count, so the
+// dispatch plan itself is deterministic (and the aggregate would be
+// byte-identical even if it were not, by positional assembly).
+
+import "fmt"
+
+// batchUnit addresses one task inside a batch: experiment position, task
+// position, and the task's global index in canonical order (the protocol
+// frame ID).
+type batchUnit struct {
+	exp, task int
+	id        int
+}
+
+// affinityKey returns a unit's routing key: the task's declared affinity
+// group (the hierarchical core of its instance key), falling back to the
+// full instance key, then to a key unique to the unit itself. The unique
+// fallback keeps affinity-less tasks singleton groups, so they spread
+// across workers instead of piling onto one — a label would not do: a
+// batch listing the same experiment twice repeats every label, and merging
+// those copies into one group would serialize them on a single worker for
+// no cache benefit.
+func affinityKey(u batchUnit, plans []*TaskPlan) string {
+	t := &plans[u.exp].Tasks[u.task]
+	if t.Affinity != "" {
+		return t.Affinity
+	}
+	if t.InstanceKey != "" {
+		return t.InstanceKey
+	}
+	return fmt.Sprintf("unit:%d", u.id)
+}
+
+// assignAffinity partitions units across `workers` queues: units are walked
+// in canonical order, each distinct affinity key becomes a group pinned to
+// one worker, and each new group goes to the currently least-loaded worker
+// (ties break toward the lowest index). The result is deterministic —
+// identical inputs always produce identical queues — and every unit of one
+// group lands on one worker, in canonical order within its queue.
+func assignAffinity(units []batchUnit, plans []*TaskPlan, workers int) [][]batchUnit {
+	if workers < 1 {
+		workers = 1
+	}
+	queues := make([][]batchUnit, workers)
+	load := make([]int, workers)
+	groupOf := make(map[string]int)
+	for _, u := range units {
+		key := affinityKey(u, plans)
+		w, ok := groupOf[key]
+		if !ok {
+			w = 0
+			for i := 1; i < workers; i++ {
+				if load[i] < load[w] {
+					w = i
+				}
+			}
+			groupOf[key] = w
+		}
+		queues[w] = append(queues[w], u)
+		load[w]++
+	}
+	return queues
+}

@@ -103,9 +103,10 @@ type sweepSpec struct {
 	xName       string
 	theorySlope float64
 	theoryUpper float64
-	// key names the shared-provider instance the point will request
-	// (informational: task labels, scheduling logs); nil when untracked.
-	key func(val int) string
+	// key identifies the shared-provider instance the point will request:
+	// its String() labels the task and its Core() is the task's affinity
+	// group for the multi-process dispatcher; nil when untracked.
+	key func(val int) inst.Key
 	// point runs one sweep value under the point seed derived via
 	// PointSeed from the run's base seed.
 	point func(ctx context.Context, val int, seed uint64, eng engineConfig) (sweepPoint, error)
@@ -163,7 +164,7 @@ func hierarchical35Spec(k int) *sweepSpec {
 		xName:       "T",
 		theorySlope: 1,
 		theoryUpper: 1,
-		key:         func(T int) string { return inst.HierarchicalKey(hierLengths(k, T)).String() },
+		key:         func(T int) inst.Key { return inst.HierarchicalKey(hierLengths(k, T)) },
 		point: func(ctx context.Context, T int, seed uint64, _ engineConfig) (sweepPoint, error) {
 			gammas := make([]int, k-1)
 			for i := 1; i < k; i++ {
@@ -226,8 +227,8 @@ func weighted25Spec(delta, d, k int) (*sweepSpec, error) {
 		xName:       "n",
 		theorySlope: alpha1,
 		theoryUpper: alpha1,
-		key: func(target int) string {
-			return inst.WeightedKey(p, polyLengths(target, k, alphas), target/k).String()
+		key: func(target int) inst.Key {
+			return inst.WeightedKey(p, polyLengths(target, k, alphas), target/k)
 		},
 		point: func(ctx context.Context, target int, seed uint64, _ engineConfig) (sweepPoint, error) {
 			in, err := instances.Weighted(p, polyLengths(target, k, alphas), target/k)
@@ -342,10 +343,10 @@ func weighted35Spec(delta, d, k, weightFactor int) (*sweepSpec, error) {
 		xName:       "T",
 		theorySlope: lower,
 		theoryUpper: upper,
-		key: func(T int) string {
+		key: func(T int) inst.Key {
 			lengths := lengthsOf(T)
 			total := graph.HierarchicalSize(lengths) * weightFactor
-			return inst.WeightedKey(p, lengths, total/k).String()
+			return inst.WeightedKey(p, lengths, total/k)
 		},
 		point: func(ctx context.Context, T int, seed uint64, _ engineConfig) (sweepPoint, error) {
 			lengths := lengthsOf(T)
@@ -397,8 +398,8 @@ func weightAugmentedSpec(k, delta int) *sweepSpec {
 		xName:       "n",
 		theorySlope: 1 / float64(k),
 		theoryUpper: 1 / float64(k),
-		key: func(target int) string {
-			return inst.AugKey(k, delta, lengthsOf(target), target/k).String()
+		key: func(target int) inst.Key {
+			return inst.AugKey(k, delta, lengthsOf(target), target/k)
 		},
 		point: func(ctx context.Context, target int, seed uint64, _ engineConfig) (sweepPoint, error) {
 			in, err := instances.Aug(k, delta, lengthsOf(target), target/k)
@@ -440,7 +441,7 @@ func twoColoringGapSpec() *sweepSpec {
 		xName:       "n",
 		theorySlope: 1,
 		theoryUpper: 1,
-		key:         func(n int) string { return inst.PathKey(n).String() },
+		key:         func(n int) inst.Key { return inst.PathKey(n) },
 		point: func(ctx context.Context, n int, seed uint64, eng engineConfig) (sweepPoint, error) {
 			tr, err := instances.Path(n)
 			if err != nil {
@@ -483,7 +484,7 @@ func copyFractionSpec(delta, d int) (*sweepSpec, error) {
 		xName:       "w",
 		theorySlope: x,
 		theoryUpper: x,
-		key:         func(w int) string { return inst.BalancedKey(delta, w).String() },
+		key:         func(w int) inst.Key { return inst.BalancedKey(delta, w) },
 		point: func(ctx context.Context, w int, _ uint64, _ engineConfig) (sweepPoint, error) {
 			tr, err := instances.Balanced(delta, w)
 			if err != nil {

@@ -3,6 +3,7 @@ package exp_test
 import (
 	"context"
 	"fmt"
+	"os"
 
 	"repro/internal/exp"
 	"repro/internal/measure"
@@ -52,4 +53,41 @@ func ExampleRegister() {
 	// example-doubling
 	// [10 20]
 	// [20 40]
+}
+
+// ExampleRunBatch_workers runs a batch on worker subprocesses: with
+// BatchOptions.Workers set, RunBatch spawns workers from WorkerCommand,
+// verifies the protocol version and catalog hash at handshake, and
+// dispatches each task as an (experiment, config, index) address over the
+// NDJSON worker protocol — closures never cross the wire, and the canonical
+// aggregate is byte-identical to an in-process run at every worker count
+// (see docs/DISTRIBUTED.md).
+//
+// A real embedder points WorkerCommand at a binary exposing the worker loop
+// — cmd/experiments does, as `experiments worker`, and an empty
+// WorkerCommand defaults to re-running the current executable with the
+// argument "worker". This example re-execs the test binary, whose TestMain
+// doubles as a worker when REPRO_EXP_WORKER_MODE=ok is set.
+func ExampleRunBatch_workers() {
+	e, ok := exp.Lookup("survivors")
+	if !ok {
+		fmt.Println("survivors not registered")
+		return
+	}
+	results, err := exp.RunBatch(context.Background(), []*exp.Experiment{e, e}, exp.BatchOptions{
+		Workers:       2,
+		WorkerCommand: []string{os.Args[0]},
+		WorkerEnv:     []string{"REPRO_EXP_WORKER_MODE=ok"},
+		Config:        exp.RunConfig{Preset: exp.PresetQuick},
+	})
+	if err != nil {
+		fmt.Println("run:", err)
+		return
+	}
+	for _, res := range results {
+		fmt.Println(res.Name, len(res.Tables))
+	}
+	// Output:
+	// survivors 1
+	// survivors 1
 }

@@ -223,26 +223,32 @@ func sweepExperiment(name, description, theory string, presets map[string][]int,
 		}
 		base := e.seedFor(cfg)
 		// The elapsed clock starts when the experiment's first task actually
-		// runs, not when the plan is derived — RunBatch derives every plan up
-		// front, and queue wait is not this experiment's runtime. (ElapsedMS
-		// then spans first task start to assembly: the experiment's wall
-		// clock under whatever concurrency it was scheduled with.)
+		// runs (or, under a multi-process backend, when its first task is
+		// dispatched — the plan's Started hook), not when the plan is
+		// derived: RunBatch derives every plan up front, and queue wait is
+		// not this experiment's runtime. (ElapsedMS then spans first task
+		// start to assembly: the experiment's wall clock under whatever
+		// concurrency it was scheduled with.)
 		started := time.Now() // fallback for empty sweeps
 		var startedOnce sync.Once
+		markStarted := func() { startedOnce.Do(func() { started = time.Now() }) }
 		tasks := make([]Task, len(sizes))
 		for i, val := range sizes {
 			val := val
 			pseed := PointSeed(base, val)
-			var key string
+			var key, affinity string
 			if s.key != nil {
-				key = s.key(val)
+				k := s.key(val)
+				key = k.String()
+				affinity = k.Core().String()
 			}
 			tasks[i] = Task{
 				Label:       fmt.Sprintf("%s %s=%d", e.Name, s.xName, val),
 				Seed:        pseed,
 				InstanceKey: key,
+				Affinity:    affinity,
 				Run: func(ctx context.Context) (any, error) {
-					startedOnce.Do(func() { started = time.Now() })
+					markStarted()
 					if err := sweepStep(ctx); err != nil {
 						return nil, err
 					}
@@ -267,6 +273,9 @@ func sweepExperiment(name, description, theory string, presets map[string][]int,
 				}
 				return e.sweepResultOf(cfg, preset, sizes, started, s.assemble(points)), nil
 			},
+			Encode:  encodeSweepPoint,
+			Decode:  decodeSweepPoint,
+			Started: markStarted,
 		}, nil
 	}
 	return e

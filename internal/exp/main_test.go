@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+)
+
+// workerModeEnv selects the test binary's worker-helper behavior: when set,
+// TestMain acts as a worker subprocess instead of running the test suite.
+// The multi-process tests re-exec the test binary with this variable set —
+// exactly the way cmd/experiments spawns `experiments worker`, but without
+// needing a second binary on disk.
+const workerModeEnv = "REPRO_EXP_WORKER_MODE"
+
+// workerCommand is the argv re-execing this test binary as a worker.
+func workerCommand() []string { return []string{os.Args[0]} }
+
+// workerEnv selects the helper mode of a spawned worker.
+func workerEnv(mode string) []string { return []string{workerModeEnv + "=" + mode} }
+
+func TestMain(m *testing.M) {
+	if mode := os.Getenv(workerModeEnv); mode != "" {
+		os.Exit(workerHelperMain(mode))
+	}
+	os.Exit(m.Run())
+}
+
+// printHello emits a hello frame, applying tweak to the faithful one first.
+func printHello(tweak func(*HelloFrame)) {
+	h := HelloFrame{
+		Type:        FrameHello,
+		Proto:       ProtoVersion,
+		Catalog:     CatalogHash(),
+		Build:       BuildID(),
+		Experiments: len(List()),
+	}
+	if tweak != nil {
+		tweak(&h)
+	}
+	raw, _ := json.Marshal(h)
+	fmt.Printf("%s\n", raw)
+}
+
+// workerHelperMain is the subprocess entry point. Mode "ok" is a faithful
+// worker; the others misbehave in exactly the ways the failure-path tests
+// need to observe.
+func workerHelperMain(mode string) int {
+	switch mode {
+	case "ok":
+		if err := RunWorker(context.Background(), os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	case "badcatalog":
+		// A worker whose catalog diverged: valid hello, wrong hash.
+		printHello(func(h *HelloFrame) { h.Catalog = "sha256:0000" })
+		_, _ = io.Copy(io.Discard, os.Stdin)
+		return 0
+	case "badproto":
+		// A worker speaking a future protocol version.
+		printHello(func(h *HelloFrame) { h.Proto = ProtoVersion + 1 })
+		_, _ = io.Copy(io.Discard, os.Stdin)
+		return 0
+	case "badbuild":
+		// A worker built from different code: catalog agrees, build skews.
+		printHello(func(h *HelloFrame) { h.Build = "repro@v0.0.0-stale" })
+		_, _ = io.Copy(io.Discard, os.Stdin)
+		return 0
+	case "garbage":
+		// A worker that greets correctly, then breaks framing: the
+		// orchestrator must refuse the malformed line, not hang.
+		printHello(nil)
+		fmt.Println("this is not a protocol frame")
+		_, _ = io.Copy(io.Discard, os.Stdin)
+		return 0
+	case "exit3":
+		// A worker that dies before saying hello.
+		return 3
+	}
+	fmt.Fprintf(os.Stderr, "unknown %s=%q\n", workerModeEnv, mode)
+	return 2
+}

@@ -1,0 +1,383 @@
+package exp
+
+// ProcRunner: the multi-process execution backend behind RunBatch's Workers
+// option. It spawns N worker subprocesses (each running RunWorker via the
+// embedding binary's `worker` subcommand), verifies the protocol version and
+// catalog hash at handshake, dispatches tasks with instance-affinity
+// grouping (affinity.go), and feeds decoded outputs back into the batch
+// state's positional assembly — so the canonical aggregate is byte-identical
+// to the serial in-process run at every worker count. A worker failure
+// (crash, nonzero exit, protocol violation) surfaces as an error labeled
+// with the in-flight task and cancels the rest of the batch; WorkerRetry
+// allows one respawn per worker slot before failing.
+//
+// This is the seam the ROADMAP names for sharding across machines: every
+// interaction with a worker flows through the NDJSON frames of proto.go
+// over an io pipe pair, so replacing the pipe with a socket is a transport
+// swap — nothing above this file changes. See docs/DISTRIBUTED.md.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+
+	"repro/internal/inst"
+)
+
+// WorkerStats is one worker subprocess's shutdown report: how many tasks it
+// ran and its process-local instance-cache counters. Because the dispatcher
+// routes tasks sharing a hierarchical core to one worker, these counters
+// are where affinity shows up: a warm repeat of a composite family inside a
+// batch performs zero builds in its worker and records hits instead.
+type WorkerStats struct {
+	// Worker is the worker slot index (0..Workers-1).
+	Worker int `json:"worker"`
+	// Tasks is the number of tasks the worker executed.
+	Tasks int `json:"tasks"`
+	// Cache is the worker process's instance-cache snapshot at shutdown.
+	Cache inst.Stats `json:"cache"`
+}
+
+// handshakeTimeout bounds the wait for a spawned worker's hello frame. A
+// real worker greets in milliseconds; the generous bound only exists so a
+// misconfigured command that never writes fails loudly instead of hanging
+// the batch. A variable so tests can shrink it.
+var handshakeTimeout = 30 * time.Second
+
+// workerExitTimeout bounds process reaping: a worker that closed its
+// stdout but never exits is killed rather than hanging Wait. Killing a
+// process that already exited is a no-op, so a natural exit's status is
+// never clobbered.
+const workerExitTimeout = 10 * time.Second
+
+// errTaskFailed marks a session that already reported its failure through
+// the batch state (a task-level error frame or an undecodable output);
+// the worker loop must not re-report or retry it.
+var errTaskFailed = errors.New("task failed")
+
+// permanentError marks a worker failure a fresh worker would reproduce
+// deterministically — handshake refusals (version or catalog mismatch) and
+// protocol violations. Retry applies only to crashes, never to these.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+func permanent(err error) error { return &permanentError{err: err} }
+
+func isPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}
+
+// ProcRunner executes a batch's tasks in worker subprocesses. It implements
+// the runner interface RunBatch schedules through; BatchOptions.Workers
+// constructs one, and the exported fields mirror the corresponding batch
+// options.
+type ProcRunner struct {
+	// Workers is the number of worker subprocesses (clamped to the task
+	// count; at least 1).
+	Workers int
+	// Command is the argv spawning one worker. Empty means the current
+	// executable with the single argument "worker".
+	Command []string
+	// Env is extra environment appended to the inherited environment of
+	// every worker subprocess.
+	Env []string
+	// Retry allows one respawn of a crashed worker's remaining tasks on a
+	// fresh process before the crash fails the batch.
+	Retry bool
+	// OnStats, when non-nil, receives each worker's shutdown stats. Calls
+	// are serialized.
+	OnStats func(WorkerStats)
+
+	statsMu sync.Mutex
+}
+
+// runTasks implements the runner interface: group the batch's tasks by
+// instance affinity, run one manager goroutine per worker slot, and wait
+// for every slot to drain or the batch to fail.
+func (p *ProcRunner) runTasks(ctx context.Context, b *batchState) {
+	var units []batchUnit
+	for i, plan := range b.plans {
+		for j := range plan.Tasks {
+			units = append(units, batchUnit{exp: i, task: j, id: len(units)})
+		}
+		if len(plan.Tasks) > 0 && (plan.Encode == nil || plan.Decode == nil) {
+			b.fail(fmt.Errorf("exp: %s: plan outputs are not wire-encodable (no Encode/Decode); run without workers", b.exps[i].Name))
+			return
+		}
+	}
+	if len(units) == 0 {
+		return
+	}
+	argv := p.Command
+	if len(argv) == 0 {
+		self, err := os.Executable()
+		if err != nil {
+			b.fail(fmt.Errorf("exp: resolving worker executable: %w", err))
+			return
+		}
+		argv = []string{self, "worker"}
+	}
+	workers := p.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(units) {
+		workers = len(units)
+	}
+	queues := assignAffinity(units, b.plans, workers)
+	var wg sync.WaitGroup
+	for slot, queue := range queues {
+		if len(queue) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(slot int, queue []batchUnit) {
+			defer wg.Done()
+			p.runWorker(ctx, slot, queue, argv, b)
+		}(slot, queue)
+	}
+	wg.Wait()
+}
+
+// runWorker drives one worker slot's queue through worker sessions: one
+// process normally, a second fresh process when Retry is set and the first
+// crashed. Task-level failures are terminal (the task would fail
+// identically on a fresh worker); batch cancellation ends the slot
+// silently — the cancellation's root cause is recorded elsewhere.
+func (p *ProcRunner) runWorker(ctx context.Context, slot int, units []batchUnit, argv []string, b *batchState) {
+	retried := false
+	for {
+		done, err := p.session(ctx, slot, units, argv, b)
+		units = units[done:]
+		if err == nil {
+			return
+		}
+		if errors.Is(err, errTaskFailed) || ctx.Err() != nil {
+			return
+		}
+		if p.Retry && !retried && len(units) > 0 && !isPermanent(err) {
+			retried = true
+			continue
+		}
+		b.fail(err)
+		return
+	}
+}
+
+// session runs one worker process over the given units: spawn, handshake,
+// one task frame at a time, then shutdown (stdin EOF → stats frame → clean
+// exit). It returns how many units were delivered and, on failure, an error
+// describing what the worker did — labeled with the in-flight task when one
+// was. errTaskFailed signals a failure already recorded in the batch state.
+func (p *ProcRunner) session(ctx context.Context, slot int, units []batchUnit, argv []string, b *batchState) (delivered int, err error) {
+	cmd := exec.CommandContext(ctx, argv[0], argv[1:]...)
+	cmd.Env = append(os.Environ(), p.Env...)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return 0, fmt.Errorf("exp: worker %d: stdin pipe: %w", slot, err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return 0, fmt.Errorf("exp: worker %d: stdout pipe: %w", slot, err)
+	}
+	if err := cmd.Start(); err != nil {
+		return 0, fmt.Errorf("exp: worker %d: spawn %q: %w", slot, argv[0], err)
+	}
+	// exit reaps the process exactly once and describes how it went down;
+	// abort additionally makes sure it is gone first (protocol violations
+	// leave a live process behind).
+	reaped := false
+	exit := func() string {
+		reaped = true
+		t := time.AfterFunc(workerExitTimeout, func() { _ = cmd.Process.Kill() })
+		defer t.Stop()
+		if werr := cmd.Wait(); werr != nil {
+			return werr.Error()
+		}
+		return "exited cleanly"
+	}
+	abort := func() {
+		_ = cmd.Process.Kill()
+		if !reaped {
+			_ = cmd.Wait()
+			reaped = true
+		}
+	}
+	defer func() {
+		_ = stdin.Close()
+		if !reaped {
+			abort()
+		}
+	}()
+
+	sc := newFrameScanner(stdout)
+
+	// Handshake: the worker speaks first, and a real worker says hello in
+	// milliseconds — bound the wait so a misconfigured command that never
+	// writes (e.g. a program blocking on stdin) fails the batch with a
+	// labeled error instead of hanging RunBatch forever. The timer kill
+	// forces the blocked Scan to EOF.
+	hsTimer := time.AfterFunc(handshakeTimeout, func() { _ = cmd.Process.Kill() })
+	scanned := sc.Scan()
+	hsFired := !hsTimer.Stop()
+	if !scanned {
+		if hsFired {
+			return 0, permanent(fmt.Errorf("exp: worker %d: no hello frame within %v (is %q a worker binary?)",
+				slot, handshakeTimeout, argv[0]))
+		}
+		if serr := sc.Err(); serr != nil {
+			ferr := fmt.Errorf("exp: worker %d: reading hello frame: %w", slot, serr)
+			if errors.Is(serr, bufio.ErrTooLong) {
+				return 0, permanent(ferr)
+			}
+			return 0, ferr
+		}
+		return 0, fmt.Errorf("exp: worker %d: no hello frame (%s)", slot, exit())
+	}
+	// A hello that raced the watchdog at the boundary still counts: if the
+	// timer's kill landed anyway, the first dispatch surfaces it as an
+	// ordinary (retryable) crash rather than a spurious timeout.
+	var hello HelloFrame
+	if jerr := json.Unmarshal(sc.Bytes(), &hello); jerr != nil || hello.Type != FrameHello {
+		return 0, permanent(fmt.Errorf("exp: worker %d: handshake: expected hello frame, got %q", slot, sc.Bytes()))
+	}
+	if hello.Proto != ProtoVersion {
+		return 0, permanent(fmt.Errorf("exp: worker %d: handshake: protocol version %d, orchestrator speaks %d",
+			slot, hello.Proto, ProtoVersion))
+	}
+	if want := CatalogHash(); hello.Catalog != want {
+		return 0, permanent(fmt.Errorf("exp: worker %d: handshake: catalog hash mismatch (worker %s, orchestrator %s): orchestrator and worker would plan different tasks",
+			slot, hello.Catalog, want))
+	}
+	if want := BuildID(); hello.Build != want {
+		return 0, permanent(fmt.Errorf("exp: worker %d: handshake: build mismatch (worker %s, orchestrator %s): a version-skewed worker would compute stale outputs",
+			slot, hello.Build, want))
+	}
+
+	enc := json.NewEncoder(stdin)
+	for _, u := range units {
+		if ctx.Err() != nil {
+			return delivered, ctx.Err()
+		}
+		label := b.plans[u.exp].Tasks[u.task].Label
+		// Task.Run executes in the worker, so the plan's in-process clock
+		// trigger never fires; dispatch is the experiment's start here.
+		if hook := b.plans[u.exp].Started; hook != nil {
+			hook()
+		}
+		if serr := enc.Encode(TaskFrame{
+			Type:       FrameTask,
+			ID:         u.id,
+			Experiment: b.exps[u.exp].Name,
+			Config:     b.cfg,
+			Index:      u.task,
+		}); serr != nil {
+			return delivered, fmt.Errorf("exp: worker %d: %s while dispatching task %q", slot, exit(), label)
+		}
+		if !sc.Scan() {
+			if serr := sc.Err(); serr != nil {
+				ferr := fmt.Errorf("exp: worker %d: reading frames during task %q: %w", slot, label, serr)
+				if errors.Is(serr, bufio.ErrTooLong) {
+					// An oversized frame reproduces on a fresh worker;
+					// other read errors may be transient and stay
+					// retryable.
+					return delivered, permanent(ferr)
+				}
+				return delivered, ferr
+			}
+			return delivered, fmt.Errorf("exp: worker %d: %s during task %q", slot, exit(), label)
+		}
+		line := sc.Bytes()
+		kind, ferr := frameType(line)
+		if ferr != nil {
+			return delivered, permanent(fmt.Errorf("exp: worker %d: %w during task %q", slot, ferr, label))
+		}
+		switch kind {
+		case FrameResult:
+			var rf ResultFrame
+			if jerr := json.Unmarshal(line, &rf); jerr != nil {
+				return delivered, permanent(fmt.Errorf("exp: worker %d: malformed result frame during task %q: %w", slot, label, jerr))
+			}
+			if rf.ID != u.id {
+				return delivered, permanent(fmt.Errorf("exp: worker %d: result frame for task %d, expected %d (%q)", slot, rf.ID, u.id, label))
+			}
+			out, derr := b.plans[u.exp].Decode(rf.Output)
+			if derr != nil {
+				b.fail(fmt.Errorf("exp: worker %d: task %q: %w", slot, label, derr))
+				return delivered, errTaskFailed
+			}
+			b.deliver(u.exp, u.task, out)
+			delivered++
+		case FrameError:
+			var ef ErrorFrame
+			if jerr := json.Unmarshal(line, &ef); jerr != nil {
+				return delivered, permanent(fmt.Errorf("exp: worker %d: malformed error frame during task %q: %w", slot, label, jerr))
+			}
+			if ef.ID != u.id {
+				return delivered, permanent(fmt.Errorf("exp: worker %d: error frame for task %d, expected %d (%q)", slot, ef.ID, u.id, label))
+			}
+			if ef.Canceled && ctx.Err() != nil {
+				// The worker observed the batch's own cancellation (the
+				// orchestrator context is canceled too): wrap
+				// context.Canceled so the batch books it as fallout and
+				// the root cause is never drowned. A canceled-flagged
+				// frame while the batch is healthy is a task failing on
+				// its own internal deadline — a real failure whose
+				// message must survive.
+				b.fail(fmt.Errorf("exp: worker %d: task %q: %w", slot, label, context.Canceled))
+			} else {
+				b.fail(fmt.Errorf("exp: worker %d: task %q: %s", slot, label, ef.Error))
+			}
+			return delivered, errTaskFailed
+		default:
+			return delivered, permanent(fmt.Errorf("exp: worker %d: unexpected %q frame during task %q", slot, kind, label))
+		}
+	}
+
+	// Shutdown: closing stdin asks the worker to emit its stats frame and
+	// exit cleanly. The stats frame is mandatory, and a nonzero exit after
+	// the last task still fails the batch — a worker that corrupted itself
+	// may have corrupted outputs.
+	_ = stdin.Close()
+	// Like the handshake, the stats read is bounded: a worker that ignores
+	// stdin EOF and never writes again would otherwise hang the batch with
+	// every task already delivered.
+	stTimer := time.AfterFunc(workerExitTimeout, func() { _ = cmd.Process.Kill() })
+	gotStats := sc.Scan()
+	stFired := !stTimer.Stop()
+	if !gotStats {
+		if stFired {
+			return delivered, permanent(fmt.Errorf("exp: worker %d: no stats frame within %v of shutdown", slot, workerExitTimeout))
+		}
+		if serr := sc.Err(); serr != nil {
+			return delivered, fmt.Errorf("exp: worker %d: reading stats frame: %w", slot, serr)
+		}
+		return delivered, fmt.Errorf("exp: worker %d: %s without a stats frame", slot, exit())
+	}
+	var stats StatsFrame
+	if jerr := json.Unmarshal(sc.Bytes(), &stats); jerr != nil || stats.Type != FrameStats {
+		return delivered, permanent(fmt.Errorf("exp: worker %d: expected stats frame at shutdown, got %q", slot, sc.Bytes()))
+	}
+	// Every task is delivered and the stats frame arrived; the only exit
+	// status to tolerate beyond a clean one is our own watchdog's kill
+	// racing a frame that did make it out.
+	if desc := exit(); desc != "exited cleanly" && !stFired {
+		return delivered, fmt.Errorf("exp: worker %d: %s after its last task", slot, desc)
+	}
+	if p.OnStats != nil {
+		p.statsMu.Lock()
+		p.OnStats(WorkerStats{Worker: slot, Tasks: stats.Tasks, Cache: stats.Cache})
+		p.statsMu.Unlock()
+	}
+	return delivered, nil
+}

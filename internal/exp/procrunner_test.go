@@ -1,0 +1,548 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/inst"
+	"repro/internal/measure"
+)
+
+// The throwaway experiments the multi-process tests dispatch. They are
+// registered under the "test-" prefix (skipped by the catalog tests and
+// excluded from CatalogHash) in both the orchestrator and the re-execed
+// worker — the worker is the same test binary, so init registration runs in
+// both processes.
+func init() {
+	// test-proc-exit kills its own process mid-task: the worker vanishes
+	// without a result frame, which must surface as a labeled crash.
+	MustRegister(&Experiment{
+		Name:        "test-proc-exit",
+		Description: "kills its own process mid-task (multi-process failure-path tests)",
+		Run: func(ctx context.Context, cfg RunConfig) (*Result, error) {
+			os.Exit(3)
+			return nil, nil
+		},
+	})
+	// test-proc-fail fails like a normal task: the worker survives and
+	// reports an error frame.
+	MustRegister(&Experiment{
+		Name:        "test-proc-fail",
+		Description: "returns a task error (multi-process failure-path tests)",
+		Run: func(ctx context.Context, cfg RunConfig) (*Result, error) {
+			return nil, errors.New("boom")
+		},
+	})
+	// test-proc-slow blocks until canceled: the sibling of every failure
+	// test, proving cancellation reaches in-flight work promptly.
+	MustRegister(&Experiment{
+		Name:        "test-proc-slow",
+		Description: "blocks 10s unless canceled (multi-process failure-path tests)",
+		Run: func(ctx context.Context, cfg RunConfig) (*Result, error) {
+			select {
+			case <-ctx.Done():
+				return nil, fmt.Errorf("slow: %w", ctx.Err())
+			case <-time.After(10 * time.Second):
+				return &Result{Name: "test-proc-slow"}, nil
+			}
+		},
+	})
+	// test-proc-flaky crashes its process on the first run and succeeds on
+	// the second, keeping state in the file named by REPRO_EXP_FLAKY_FILE:
+	// the retry test's one-crash worker.
+	MustRegister(&Experiment{
+		Name:        "test-proc-flaky",
+		Description: "crashes once, then succeeds (multi-process retry test)",
+		Run: func(ctx context.Context, cfg RunConfig) (*Result, error) {
+			if file := os.Getenv("REPRO_EXP_FLAKY_FILE"); file != "" {
+				if _, err := os.Stat(file); err != nil {
+					_ = os.WriteFile(file, []byte("crashed once"), 0o644)
+					os.Exit(3)
+				}
+			}
+			tb := measure.Table{Title: "flaky", Header: []string{"ok"}}
+			tb.AddRow(1)
+			return &Result{Name: "test-proc-flaky", Tables: []measure.Table{tb}}, nil
+		},
+	})
+	// test-proc-noop decomposes into 16 trivial tasks: the pure
+	// dispatch-overhead workload of BenchmarkProcRunner and the cheap
+	// multi-task subject of protocol tests.
+	MustRegister(noopExperiment())
+}
+
+const noopTasks = 16
+
+func noopPlan(cfg RunConfig) (*TaskPlan, error) {
+	tasks := make([]Task, noopTasks)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task{
+			Label: fmt.Sprintf("test-proc-noop i=%d", i),
+			Run:   func(ctx context.Context) (any, error) { return float64(i) * 1.5, nil },
+		}
+	}
+	return &TaskPlan{
+		Tasks: tasks,
+		Assemble: func(outs []any) (*Result, error) {
+			tb := measure.Table{Title: "noop", Header: []string{"i", "v"}}
+			for i, o := range outs {
+				v, ok := o.(float64)
+				if !ok {
+					return nil, fmt.Errorf("output %d is %T, not float64", i, o)
+				}
+				tb.AddRow(i, v)
+			}
+			return &Result{Name: "test-proc-noop", Tables: []measure.Table{tb}}, nil
+		},
+		Encode: func(out any) (json.RawMessage, error) { return json.Marshal(out) },
+		Decode: func(raw json.RawMessage) (any, error) {
+			var v float64
+			if err := json.Unmarshal(raw, &v); err != nil {
+				return nil, err
+			}
+			return v, nil
+		},
+	}, nil
+}
+
+func noopExperiment() *Experiment {
+	e := &Experiment{
+		Name:        "test-proc-noop",
+		Description: "16 trivial tasks (multi-process dispatch-overhead benchmark)",
+	}
+	e.Plan = noopPlan
+	e.Run = func(ctx context.Context, cfg RunConfig) (*Result, error) {
+		plan, err := noopPlan(cfg)
+		if err != nil {
+			return nil, err
+		}
+		outs := make([]any, len(plan.Tasks))
+		for i, t := range plan.Tasks {
+			if outs[i], err = t.Run(ctx); err != nil {
+				return nil, err
+			}
+		}
+		return plan.Assemble(outs)
+	}
+	return e
+}
+
+// procBatch runs exps on worker subprocesses in helper mode "ok".
+func procBatch(ctx context.Context, exps []*Experiment, workers int, opts BatchOptions) ([]*Result, error) {
+	opts.Workers = workers
+	opts.WorkerCommand = workerCommand()
+	opts.WorkerEnv = append(workerEnv("ok"), opts.WorkerEnv...)
+	return RunBatch(ctx, exps, opts)
+}
+
+// TestProcBatchMatchesSerialByteForByte is the tentpole acceptance
+// criterion: the multi-process batch produces a canonical aggregate
+// byte-identical to the serial in-process run at every worker count.
+func TestProcBatchMatchesSerialByteForByte(t *testing.T) {
+	exps := lookupAll(t, batchNames)
+	cfg := RunConfig{Preset: PresetQuick}
+	serial, err := RunBatch(context.Background(), exps, BatchOptions{Jobs: 1, Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := canonicalJSON(t, serial)
+	for _, workers := range []int{1, 2, 4} {
+		got, err := procBatch(context.Background(), exps, workers, BatchOptions{Config: cfg})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if raw := canonicalJSON(t, got); !bytes.Equal(want, raw) {
+			t.Fatalf("workers=%d diverged from serial:\n%s\nvs\n%s", workers, want, raw)
+		}
+		for i, res := range got {
+			if res.Name != batchNames[i] {
+				t.Fatalf("workers=%d: position %d holds %q, want %q", workers, i, res.Name, batchNames[i])
+			}
+		}
+	}
+}
+
+// TestProcSweepDecomposedAcrossWorkers: a single decomposable sweep crosses
+// the process boundary point by point and still reassembles byte-identically
+// — including the fitted slope, which is recomputed orchestrator-side from
+// wire-decoded float64 points.
+func TestProcSweepDecomposedAcrossWorkers(t *testing.T) {
+	for _, name := range []string{"weighted25-d5", "twocoloring-gap", "test-proc-noop"} {
+		exps := lookupAll(t, []string{name})
+		cfg := RunConfig{Preset: PresetQuick}
+		direct, err := exps[0].Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := procBatch(context.Background(), exps, 3, BatchOptions{Config: cfg})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := canonicalJSON(t, []*Result{direct})
+		if raw := canonicalJSON(t, got); !bytes.Equal(want, raw) {
+			t.Fatalf("%s: workers diverged from direct Run:\n%s\nvs\n%s", name, want, raw)
+		}
+	}
+}
+
+// procFailure runs a failing batch alongside the blocking sibling and
+// asserts the failure is labeled, cancellation reaches in-flight work
+// promptly, and no results leak out.
+func procFailure(t *testing.T, exps []*Experiment, env []string, wantInError ...string) error {
+	t.Helper()
+	started := time.Now()
+	results, err := RunBatch(context.Background(), exps, BatchOptions{
+		Workers:       2,
+		WorkerCommand: workerCommand(),
+		WorkerEnv:     env,
+		Config:        RunConfig{Preset: PresetQuick},
+	})
+	if err == nil {
+		t.Fatal("failing batch returned nil error")
+	}
+	if results != nil {
+		t.Fatalf("failing batch returned results: %v", results)
+	}
+	for _, want := range wantInError {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("err = %q, want it to mention %q", err, want)
+		}
+	}
+	if time.Since(started) > 5*time.Second {
+		t.Fatal("batch waited for the blocking sibling instead of canceling it")
+	}
+	return err
+}
+
+// TestProcWorkerKilledMidTask: a worker process dying mid-task (here: the
+// task kills it) surfaces as an error labeled with the in-flight task and
+// cancels the rest of the batch instead of hanging — the multi-process
+// mirror of TestMidSweepCancellationStopsRemainingTasks.
+func TestProcWorkerKilledMidTask(t *testing.T) {
+	exps := lookupAll(t, []string{"test-proc-slow", "test-proc-exit"})
+	procFailure(t, exps, workerEnv("ok"), `task "test-proc-exit"`, "exit status 3")
+}
+
+// TestProcTaskErrorFailsLabeled: a task-level failure inside a worker comes
+// back as an error frame and fails the batch with the task's own message.
+func TestProcTaskErrorFailsLabeled(t *testing.T) {
+	exps := lookupAll(t, []string{"test-proc-slow", "test-proc-fail"})
+	procFailure(t, exps, workerEnv("ok"), `task "test-proc-fail"`, "boom")
+}
+
+// TestProcCatalogHashMismatch: a worker announcing a different catalog hash
+// is refused at handshake, before any task is dispatched to it.
+func TestProcCatalogHashMismatch(t *testing.T) {
+	exps := lookupAll(t, []string{"test-proc-slow", "twocoloring-gap"})
+	procFailure(t, exps, workerEnv("badcatalog"), "catalog hash mismatch")
+}
+
+// TestProcProtoVersionMismatch: same for the protocol version.
+func TestProcProtoVersionMismatch(t *testing.T) {
+	exps := lookupAll(t, []string{"test-proc-slow", "twocoloring-gap"})
+	procFailure(t, exps, workerEnv("badproto"), "protocol version")
+}
+
+// TestProcBuildMismatch: a worker binary built from different code — same
+// catalog, skewed build fingerprint — is refused at handshake; stale code
+// must not contribute outputs.
+func TestProcBuildMismatch(t *testing.T) {
+	exps := lookupAll(t, []string{"test-proc-slow", "twocoloring-gap"})
+	procFailure(t, exps, workerEnv("badbuild"), "build mismatch")
+}
+
+// TestProcMalformedFrame: a worker emitting a non-frame line mid-protocol
+// fails the batch with a malformed-frame error naming the in-flight task.
+func TestProcMalformedFrame(t *testing.T) {
+	exps := lookupAll(t, []string{"test-proc-slow", "twocoloring-gap"})
+	procFailure(t, exps, workerEnv("garbage"), "malformed frame")
+}
+
+// TestProcNonzeroExitBeforeHello: a worker dying before the handshake
+// reports its exit status.
+func TestProcNonzeroExitBeforeHello(t *testing.T) {
+	exps := lookupAll(t, []string{"test-proc-slow", "twocoloring-gap"})
+	procFailure(t, exps, workerEnv("exit3"), "no hello frame", "exit status 3")
+}
+
+// TestProcHandshakeTimeout: a command that never writes a hello frame (a
+// misconfigured WorkerCommand, here /bin/cat blocking on stdin) fails the
+// batch with a labeled error after the handshake deadline instead of
+// hanging RunBatch forever.
+func TestProcHandshakeTimeout(t *testing.T) {
+	if _, err := os.Stat("/bin/cat"); err != nil {
+		t.Skip("/bin/cat not available")
+	}
+	saved := handshakeTimeout
+	handshakeTimeout = 200 * time.Millisecond
+	defer func() { handshakeTimeout = saved }()
+	exps := lookupAll(t, []string{"twocoloring-gap"})
+	_, err := RunBatch(context.Background(), exps, BatchOptions{
+		Workers:       1,
+		WorkerCommand: []string{"/bin/cat"},
+		WorkerRetry:   true, // a timed-out handshake is permanent: no second doomed spawn
+	})
+	if err == nil || !strings.Contains(err.Error(), "no hello frame within") {
+		t.Fatalf("err = %v, want a handshake-timeout failure", err)
+	}
+}
+
+// TestProcRetryRecoversCrashedWorker: with WorkerRetry a worker that
+// crashes once is respawned and its remaining tasks (including the one in
+// flight) complete on the fresh process; without it the crash fails the
+// batch.
+func TestProcRetryRecoversCrashedWorker(t *testing.T) {
+	marker := filepath.Join(t.TempDir(), "flaky")
+	env := append(workerEnv("ok"), "REPRO_EXP_FLAKY_FILE="+marker)
+	exps := lookupAll(t, []string{"test-proc-flaky"})
+
+	results, err := RunBatch(context.Background(), exps, BatchOptions{
+		Workers:       1,
+		WorkerCommand: workerCommand(),
+		WorkerEnv:     env,
+		WorkerRetry:   true,
+	})
+	if err != nil {
+		t.Fatalf("retry did not recover the crashed worker: %v", err)
+	}
+	if len(results) != 1 || results[0].Name != "test-proc-flaky" {
+		t.Fatalf("results = %+v", results)
+	}
+
+	if err := os.Remove(marker); err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunBatch(context.Background(), exps, BatchOptions{
+		Workers:       1,
+		WorkerCommand: workerCommand(),
+		WorkerEnv:     env,
+	})
+	if err == nil || !strings.Contains(err.Error(), `task "test-proc-flaky"`) {
+		t.Fatalf("without retry, err = %v, want a labeled crash", err)
+	}
+}
+
+// TestProcRetryNeverAppliesToHandshake: retry softens crashes only — a
+// handshake refusal (here: a catalog mismatch) is deterministic, so
+// WorkerRetry must not buy it a doomed second spawn.
+func TestProcRetryNeverAppliesToHandshake(t *testing.T) {
+	exps := lookupAll(t, []string{"twocoloring-gap"})
+	started := time.Now()
+	_, err := RunBatch(context.Background(), exps, BatchOptions{
+		Workers:       1,
+		WorkerCommand: workerCommand(),
+		WorkerEnv:     workerEnv("badcatalog"),
+		WorkerRetry:   true,
+	})
+	if err == nil || !strings.Contains(err.Error(), "catalog hash mismatch") {
+		t.Fatalf("err = %v, want the handshake refusal", err)
+	}
+	if !isPermanent(err) { // errors.As traverses the batch's joined errors
+		t.Fatalf("handshake refusal lost its permanent marker: %v", err)
+	}
+	if time.Since(started) > 5*time.Second {
+		t.Fatal("retry loop spun on a deterministic handshake failure")
+	}
+}
+
+// TestRunWorkerCanceledTaskFlagsFrame: a task failing because the worker's
+// context was canceled reports canceled:true, so the orchestrator books it
+// as fallout rather than a root-cause failure.
+func TestRunWorkerCanceledTaskFlagsFrame(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tf, err := json.Marshal(TaskFrame{Type: FrameTask, ID: 4, Experiment: "survivors", Config: RunConfig{Preset: PresetQuick}, Index: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	// The worker loop itself returns a cancellation error after emitting
+	// the task's error frame.
+	if err := RunWorker(ctx, bytes.NewReader(append(tf, '\n')), &out); err == nil {
+		t.Fatal("canceled worker returned nil")
+	}
+	lines := bytes.Split(bytes.TrimRight(out.Bytes(), "\n"), []byte("\n"))
+	if len(lines) < 2 {
+		t.Fatalf("worker emitted %d frames, want hello+error", len(lines))
+	}
+	var ef ErrorFrame
+	if err := json.Unmarshal(lines[1], &ef); err != nil || ef.Type != FrameError {
+		t.Fatalf("second frame is not an error frame: %s", lines[1])
+	}
+	if !ef.Canceled {
+		t.Fatalf("error frame for a canceled task is not flagged canceled: %+v", ef)
+	}
+}
+
+// TestProcRefusesNonWireablePlans: a plan without Encode/Decode (synthetic
+// closures) cannot cross the process boundary; the batch fails up front
+// with a pointed error instead of dispatching half a batch.
+func TestProcRefusesNonWireablePlans(t *testing.T) {
+	e := &Experiment{Name: "test-proc-closure"}
+	e.Run = func(ctx context.Context, cfg RunConfig) (*Result, error) { return nil, errors.New("unused") }
+	e.Plan = func(cfg RunConfig) (*TaskPlan, error) {
+		return &TaskPlan{
+			Tasks:    []Task{{Label: "closure", Run: func(ctx context.Context) (any, error) { return 1, nil }}},
+			Assemble: func(outs []any) (*Result, error) { return &Result{Name: "test-proc-closure"}, nil },
+		}, nil
+	}
+	_, err := procBatch(context.Background(), []*Experiment{e}, 2, BatchOptions{})
+	if err == nil || !strings.Contains(err.Error(), "not wire-encodable") {
+		t.Fatalf("err = %v, want a wire-encodability refusal", err)
+	}
+}
+
+// TestAssignAffinityDeterministicAndGrouped: the dispatch plan is a pure
+// function of the canonical task order and worker count, every unit of one
+// affinity group lands on one worker, and groups spread across workers.
+func TestAssignAffinityDeterministicAndGrouped(t *testing.T) {
+	mkPlan := func(affinities ...string) *TaskPlan {
+		tasks := make([]Task, len(affinities))
+		for i, a := range affinities {
+			tasks[i] = Task{Label: fmt.Sprintf("t%d", i), Affinity: a}
+		}
+		return &TaskPlan{Tasks: tasks}
+	}
+	plans := []*TaskPlan{
+		mkPlan("core-a", "core-b", "core-a"),
+		mkPlan("core-b", "core-c", ""),
+	}
+	var units []batchUnit
+	for i, p := range plans {
+		for j := range p.Tasks {
+			units = append(units, batchUnit{exp: i, task: j, id: len(units)})
+		}
+	}
+	first := assignAffinity(units, plans, 3)
+	second := assignAffinity(units, plans, 3)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("assignment is not deterministic:\n%v\nvs\n%v", first, second)
+	}
+	workerOf := map[string]int{}
+	assigned := 0
+	for w, queue := range first {
+		for _, u := range queue {
+			assigned++
+			key := affinityKey(u, plans)
+			if prev, seen := workerOf[key]; seen && prev != w {
+				t.Fatalf("affinity group %q split across workers %d and %d", key, prev, w)
+			}
+			workerOf[key] = w
+		}
+	}
+	if assigned != len(units) {
+		t.Fatalf("%d of %d units assigned", assigned, len(units))
+	}
+	// Four distinct groups over three workers: every worker gets work.
+	for w, queue := range first {
+		if len(queue) == 0 {
+			t.Fatalf("worker %d left idle: %v", w, first)
+		}
+	}
+}
+
+// TestAffinitylessDuplicatesSpread: duplicating a single-task experiment in
+// one batch must not serialize its copies onto one worker — affinity-less
+// tasks are singleton groups even when their labels repeat.
+func TestAffinitylessDuplicatesSpread(t *testing.T) {
+	plan := &TaskPlan{Tasks: []Task{{Label: "same-label"}}}
+	plans := []*TaskPlan{plan, plan, plan, plan}
+	var units []batchUnit
+	for i := range plans {
+		units = append(units, batchUnit{exp: i, task: 0, id: i})
+	}
+	queues := assignAffinity(units, plans, 2)
+	for w, queue := range queues {
+		if len(queue) != 2 {
+			t.Fatalf("worker %d got %d of 4 identical-label units, want 2 (queues %v)", w, len(queue), queues)
+		}
+	}
+}
+
+// TestProcAffinityGroupsShareWorker is the end-to-end affinity criterion:
+// dispatching the same sweep twice in one batch routes both copies of each
+// point to one worker, so the repeats hit that worker's process-local cache
+// and build nothing — the multi-process mirror of
+// TestWarmCompositeRepeatBuildsNothing, asserted via per-worker cache
+// stats.
+func TestProcAffinityGroupsShareWorker(t *testing.T) {
+	e := lookupAll(t, []string{"weighted25-d5"})[0]
+	points := len(e.Presets[PresetQuick])
+	var (
+		mu    sync.Mutex
+		stats []WorkerStats
+	)
+	results, err := procBatch(context.Background(), []*Experiment{e, e}, 2, BatchOptions{
+		Config: RunConfig{Preset: PresetQuick},
+		OnWorkerStats: func(ws WorkerStats) {
+			mu.Lock()
+			stats = append(stats, ws)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d results", len(results))
+	}
+	if len(stats) != 2 {
+		t.Fatalf("stats from %d workers, want 2", len(stats))
+	}
+	var builds, hits, tasks uint64
+	for _, ws := range stats {
+		ks := ws.Cache.Kinds[inst.KindWeighted]
+		builds += ks.Builds
+		hits += ks.Hits
+		tasks += uint64(ws.Tasks)
+	}
+	if tasks != uint64(2*points) {
+		t.Fatalf("workers ran %d tasks, want %d", tasks, 2*points)
+	}
+	// Each of the `points` distinct composites is built exactly once across
+	// ALL workers — the repeat of every point landed on the process that
+	// already built it and hit its cache instead.
+	if builds != uint64(points) {
+		t.Fatalf("workers built %d weighted composites, want %d (affinity routing failed; stats %+v)",
+			builds, points, stats)
+	}
+	if hits < uint64(points) {
+		t.Fatalf("workers recorded %d weighted hits, want >= %d", hits, points)
+	}
+}
+
+// BenchmarkProcRunner pins the multi-process dispatch overhead: spawning
+// workers plus one protocol round-trip per trivial task (the noop
+// experiment's 16 tasks do no work, so elapsed time is pure
+// spawn+handshake+framing cost).
+func BenchmarkProcRunner(b *testing.B) {
+	e, ok := Lookup("test-proc-noop")
+	if !ok {
+		b.Fatal("test-proc-noop not registered")
+	}
+	for _, workers := range []int{1, 2} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, err := procBatch(context.Background(), []*Experiment{e}, workers, BatchOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(results) != 1 || len(results[0].Tables) != 1 {
+					b.Fatal("missing noop result")
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*noopTasks), "ns/task")
+		})
+	}
+}

@@ -1,0 +1,282 @@
+package exp
+
+// The worker protocol: versioned NDJSON frames over a worker subprocess's
+// stdin/stdout. The orchestrator (ProcRunner) addresses work as
+// (experiment name, RunConfig, task index) and the worker re-derives the
+// task via plan(cfg) on its own registry — closures never cross the wire,
+// so a frame is pure data and the pipe transport can later be swapped for a
+// socket without touching a single frame type. docs/DISTRIBUTED.md is the
+// normative specification of this protocol; the frame structs below are its
+// implementation.
+//
+// Frame flow:
+//
+//	worker → orchestrator   HelloFrame   (once, at startup: version + catalog hash)
+//	orchestrator → worker   TaskFrame    (one per task, awaited one at a time)
+//	worker → orchestrator   ResultFrame  (the task's wire-encoded output)
+//	worker → orchestrator   ErrorFrame   (the task failed; orchestrator cancels the batch)
+//	worker → orchestrator   StatsFrame   (once, at clean shutdown after stdin EOF)
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime/debug"
+	"sort"
+	"strings"
+
+	"repro/internal/inst"
+	"repro/internal/measure"
+)
+
+// maxFrameBytes bounds one NDJSON frame line. Task frames are tiny; result
+// frames carry a full wire-encoded output (the largest are whole-experiment
+// Results, a few hundred KB of tables at stress presets).
+const maxFrameBytes = 16 << 20
+
+// newFrameScanner returns a line scanner sized for protocol frames.
+func newFrameScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxFrameBytes)
+	return sc
+}
+
+// ProtoVersion is the version of the worker wire protocol. The worker
+// announces its version in the hello frame and the orchestrator refuses to
+// dispatch to a worker speaking a different one.
+const ProtoVersion = 1
+
+// The frame discriminators: every NDJSON line carries a "type" field naming
+// one of these.
+const (
+	FrameHello  = "hello"
+	FrameTask   = "task"
+	FrameResult = "result"
+	FrameError  = "error"
+	FrameStats  = "stats"
+)
+
+// FrameTypes lists every frame discriminator the protocol emits, in
+// protocol-flow order. The docs gate (TestDistributedDocCoversFrames)
+// asserts docs/DISTRIBUTED.md documents each of them.
+func FrameTypes() []string {
+	return []string{FrameHello, FrameTask, FrameResult, FrameError, FrameStats}
+}
+
+// HelloFrame is the first line a worker writes: its protocol version and
+// catalog hash. The orchestrator verifies both before dispatching — a
+// mismatch means the worker binary plans different tasks than the
+// orchestrator expects, and positional outputs would be silently wrong.
+type HelloFrame struct {
+	Type string `json:"type"` // "hello"
+	// Proto is the worker's ProtoVersion.
+	Proto int `json:"proto"`
+	// Catalog is the worker's CatalogHash().
+	Catalog string `json:"catalog"`
+	// Build is the worker's BuildID(): the binary's module version and VCS
+	// revision. The catalog hash catches *catalog* skew (renamed
+	// experiments, changed presets or seeds); the build fingerprint
+	// catches *code* skew — a worker built at a different commit whose
+	// driver code changed under an unchanged catalog would otherwise pass
+	// the handshake and contribute stale outputs.
+	Build string `json:"build"`
+	// Experiments is the worker's registered-experiment count (diagnostic;
+	// the hashes are what gate dispatch).
+	Experiments int `json:"experiments"`
+}
+
+// TaskFrame addresses one task: the experiment name, the run configuration,
+// and the task's index in the plan the worker re-derives via plan(cfg).
+// Shipping the address instead of the closure keeps the wire format pure
+// data and guarantees the worker runs exactly the task the orchestrator's
+// plan holds at that position (the catalog hash pins both sides to the same
+// planner).
+type TaskFrame struct {
+	Type string `json:"type"` // "task"
+	// ID is the orchestrator's identifier for the task (its position in the
+	// batch's canonical task order); echoed back on the result/error frame.
+	ID int `json:"id"`
+	// Experiment is the registry name the worker looks up.
+	Experiment string `json:"experiment"`
+	// Config is the run configuration the worker derives the plan under.
+	Config RunConfig `json:"config"`
+	// Index is the task's position in the derived plan's Tasks.
+	Index int `json:"index"`
+}
+
+// ResultFrame carries one finished task's output back: the plan's
+// wire-encoded output (TaskPlan.Encode) plus the worker-side wall clock.
+type ResultFrame struct {
+	Type string `json:"type"` // "result"
+	// ID echoes the task frame's ID.
+	ID int `json:"id"`
+	// ElapsedMS is the worker-side task wall clock (diagnostic; canonical
+	// results never include it).
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Output is the wire encoding of the task's output, decoded by the
+	// orchestrator via the same plan's Decode.
+	Output json.RawMessage `json:"output"`
+}
+
+// ErrorFrame reports a failed task (or an unaddressable task frame). The
+// orchestrator surfaces the message as the task's labeled failure and
+// cancels the rest of the batch, mirroring the in-process runner's
+// first-failure semantics.
+type ErrorFrame struct {
+	Type string `json:"type"` // "error"
+	// ID echoes the task frame's ID; the orchestrator rejects an error
+	// frame whose ID is not the in-flight task's.
+	ID int `json:"id"`
+	// Error is the failure message.
+	Error string `json:"error"`
+	// Canceled reports that the task failed because the worker observed
+	// cancellation (its error wraps context.Canceled/DeadlineExceeded)
+	// rather than failing on its own. Error values cross the wire as
+	// strings, so this flag is what lets the orchestrator keep booking
+	// cancellation fallout apart from root-cause failures.
+	Canceled bool `json:"canceled,omitempty"`
+}
+
+// StatsFrame is the worker's final line, written after stdin EOF at clean
+// shutdown: how many tasks it ran and a snapshot of its instance-cache
+// counters. Per-worker cache stats are what make affinity dispatch
+// observable — tasks sharing an instance routed to one worker show up as
+// that worker's cache hits.
+type StatsFrame struct {
+	Type string `json:"type"` // "stats"
+	// Tasks is the number of tasks the worker executed (successes and
+	// failures).
+	Tasks int `json:"tasks"`
+	// Cache is the worker process's instance-cache snapshot.
+	Cache inst.Stats `json:"cache"`
+}
+
+// frameType peeks at a raw NDJSON line's discriminator.
+func frameType(line []byte) (string, error) {
+	var probe struct {
+		Type string `json:"type"`
+	}
+	if err := json.Unmarshal(line, &probe); err != nil {
+		return "", fmt.Errorf("malformed frame: %w", err)
+	}
+	if probe.Type == "" {
+		return "", fmt.Errorf("malformed frame: missing \"type\"")
+	}
+	return probe.Type, nil
+}
+
+// CatalogHash fingerprints the registered experiment catalog: the names (in
+// registration order), presets, default seeds, and decomposability of every
+// experiment. Orchestrator and worker exchange it at handshake; a mismatch
+// means the two processes would derive different plans for the same task
+// address, so dispatch refuses to start. Throwaway registrations (names
+// prefixed "test-" or "example-", the convention the catalog tests already
+// skip) are excluded — they exist only in the process that registered them
+// and are never dispatched.
+func CatalogHash() string {
+	h := sha256.New()
+	for _, e := range List() {
+		if strings.HasPrefix(e.Name, "test-") || strings.HasPrefix(e.Name, "example-") {
+			continue
+		}
+		fmt.Fprintf(h, "%s|%d|%t|", e.Name, e.DefaultSeed, e.Plan != nil)
+		names := make([]string, 0, len(e.Presets))
+		for name := range e.Presets {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(h, "%s=%v;", name, e.Presets[name])
+		}
+		fmt.Fprint(h, "\n")
+	}
+	return fmt.Sprintf("sha256:%x", h.Sum(nil))
+}
+
+// BuildID fingerprints the running binary for the handshake: the main
+// module's version plus the VCS revision and dirty flag when the build was
+// stamped with them (test binaries and unstamped builds fall back to the
+// module version alone). Orchestrator and workers spawned from the same
+// executable always match; a worker binary built at a different commit is
+// refused even when its catalog hash happens to agree.
+func BuildID() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unstamped"
+	}
+	id := bi.Main.Path + "@" + bi.Main.Version
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			id += "+" + s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				id += "+dirty"
+			}
+		}
+	}
+	return id
+}
+
+// wirePoint is the wire encoding of one completed sweep point. The row
+// cells cross the wire pre-formatted by measure.FormatCell — the same
+// rendering Table.AddRow applies — so the orchestrator-side assembly
+// produces byte-identical tables, and X/Y are float64s whose JSON shortest
+// representation round-trips exactly, so the fitted slope is bit-equal too.
+type wirePoint struct {
+	X   float64  `json:"x"`
+	Y   float64  `json:"y"`
+	Row []string `json:"row"`
+}
+
+// encodeSweepPoint converts a sweep task's in-process output to its wire
+// form.
+func encodeSweepPoint(out any) (json.RawMessage, error) {
+	p, ok := out.(sweepPoint)
+	if !ok {
+		return nil, fmt.Errorf("exp: sweep task output is %T, not a sweep point", out)
+	}
+	w := wirePoint{X: p.pt.X, Y: p.pt.Y, Row: make([]string, len(p.row))}
+	for i, c := range p.row {
+		w.Row[i] = measure.FormatCell(c)
+	}
+	return json.Marshal(w)
+}
+
+// decodeSweepPoint is the inverse of encodeSweepPoint. The decoded row
+// holds the pre-formatted strings, which Table.AddRow passes through
+// verbatim.
+func decodeSweepPoint(raw json.RawMessage) (any, error) {
+	var w wirePoint
+	if err := json.Unmarshal(raw, &w); err != nil {
+		return nil, fmt.Errorf("exp: decoding sweep point: %w", err)
+	}
+	p := sweepPoint{pt: measure.Point{X: w.X, Y: w.Y}, row: make([]any, len(w.Row))}
+	for i, s := range w.Row {
+		p.row[i] = s
+	}
+	return p, nil
+}
+
+// encodeResult wire-encodes a whole-experiment output (*Result, the output
+// of single-task plans). Result is JSON-native with fully typed fields —
+// table rows are pre-formatted strings — so plain marshaling round-trips
+// byte-identically.
+func encodeResult(out any) (json.RawMessage, error) {
+	res, ok := out.(*Result)
+	if !ok {
+		return nil, fmt.Errorf("exp: single-task output is %T, not *Result", out)
+	}
+	return json.Marshal(res)
+}
+
+// decodeResult is the inverse of encodeResult.
+func decodeResult(raw json.RawMessage) (any, error) {
+	var res Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return nil, fmt.Errorf("exp: decoding result: %w", err)
+	}
+	return &res, nil
+}

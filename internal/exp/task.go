@@ -9,6 +9,7 @@ package exp
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 )
 
@@ -27,9 +28,16 @@ type Task struct {
 	Seed uint64
 	// InstanceKey names the shared-provider instance the task will request
 	// (inst.Key.String()), or "" when the task builds no cached instance.
-	// Informational: it labels scheduling decisions and lets a future
-	// sharded backend route tasks with instance affinity.
+	// Informational: it labels scheduling decisions and per-worker routing.
 	InstanceKey string
+	// Affinity is the task's co-location group: the hierarchical core of
+	// its instance key (inst.Key.Core), or "" when the task builds no
+	// cached instance. The multi-process dispatcher routes tasks sharing an
+	// affinity key to the same worker process, so a core tree (and any
+	// composite built on it) is constructed once per process instead of
+	// once per worker that happens to receive one of its tasks — bounding
+	// peak memory and maximizing per-process cache hits.
+	Affinity string
 	// Run executes the unit under ctx and returns its partial output,
 	// consumed positionally by the plan's Assemble.
 	Run func(ctx context.Context) (any, error)
@@ -46,6 +54,23 @@ type TaskPlan struct {
 	// order, the assembled result is byte-identical no matter how the tasks
 	// were scheduled.
 	Assemble func(outs []any) (*Result, error)
+	// Encode marshals one task output for the worker wire protocol
+	// (proto.go). Together with Decode it is what lets a task output cross
+	// a process boundary: the worker encodes, the orchestrator decodes, and
+	// Assemble receives values that reassemble byte-identically to an
+	// in-process run. Nil means the plan's outputs cannot cross a process
+	// boundary (synthetic test plans); ProcRunner refuses such plans up
+	// front.
+	Encode func(out any) (json.RawMessage, error)
+	// Decode is the inverse of Encode, applied orchestrator-side to the
+	// result frame's output.
+	Decode func(raw json.RawMessage) (any, error)
+	// Started, when non-nil, marks the experiment's wall clock as running
+	// (idempotent). Task.Run fires it on entry in-process; a backend that
+	// executes Run out of process (ProcRunner) calls it when it first
+	// dispatches one of the plan's tasks, so ElapsedMS spans first dispatch
+	// to assembly rather than plan derivation to assembly.
+	Started func()
 }
 
 // PointSeed derives the ID seed of one sweep point from the run's base seed
@@ -87,5 +112,7 @@ func (e *Experiment) plan(cfg RunConfig) (*TaskPlan, error) {
 			}
 			return res, nil
 		},
+		Encode: encodeResult,
+		Decode: decodeResult,
 	}, nil
 }

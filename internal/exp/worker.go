@@ -1,0 +1,139 @@
+package exp
+
+// The worker side of the multi-process backend: RunWorker is the loop
+// behind the `experiments worker` subcommand. It announces itself with a
+// hello frame, executes task frames one at a time against the process-local
+// registry — re-deriving each experiment's plan from the frame's RunConfig,
+// so closures never cross the process boundary — and reports a final stats
+// frame at clean shutdown. One worker process is strictly sequential; the
+// orchestrator gets parallelism by running several workers.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// workerPlanKey caches plan derivation per (experiment, config): a batch
+// dispatches every task of one experiment under the same RunConfig, so the
+// worker derives each plan once instead of once per task.
+func workerPlanKey(experiment string, cfg RunConfig) string {
+	return fmt.Sprintf("%s|%+v", experiment, cfg)
+}
+
+// RunWorker speaks the worker side of the NDJSON protocol (proto.go) over
+// r/w until r reaches EOF: hello, then one result or error frame per task
+// frame, then a final stats frame. Task execution honors ctx (the
+// subcommand wires interrupt signals); a canceled ctx surfaces as error
+// frames on in-flight tasks and an early return. A protocol-level problem —
+// an unparsable or unknown frame — is returned as an error so the process
+// exits nonzero, which the orchestrator reports as a worker failure.
+//
+// Task frames address work as (experiment, RunConfig, task index): the
+// worker looks the experiment up in its own registry, derives plan(cfg),
+// and runs the task at the given index. The handshake's catalog hash
+// guarantees both processes derive identical plans, so the orchestrator's
+// positional assembly receives exactly the outputs its own plan describes.
+func RunWorker(ctx context.Context, r io.Reader, w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(HelloFrame{
+		Type:        FrameHello,
+		Proto:       ProtoVersion,
+		Catalog:     CatalogHash(),
+		Build:       BuildID(),
+		Experiments: len(List()),
+	}); err != nil {
+		return fmt.Errorf("exp: worker: hello: %w", err)
+	}
+
+	plans := make(map[string]*TaskPlan)
+	tasks := 0
+	sc := newFrameScanner(r)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		kind, err := frameType(line)
+		if err != nil {
+			return fmt.Errorf("exp: worker: %w", err)
+		}
+		if kind != FrameTask {
+			return fmt.Errorf("exp: worker: unexpected %q frame (only task frames flow to workers)", kind)
+		}
+		var tf TaskFrame
+		if err := json.Unmarshal(line, &tf); err != nil {
+			return fmt.Errorf("exp: worker: malformed task frame: %w", err)
+		}
+		tasks++
+		if err := runWorkerTask(ctx, enc, plans, &tf); err != nil {
+			return err
+		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("exp: worker canceled: %w", ctx.Err())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("exp: worker: reading frames: %w", err)
+	}
+	return enc.Encode(StatsFrame{
+		Type:  FrameStats,
+		Tasks: tasks,
+		Cache: InstanceCache().Stats(),
+	})
+}
+
+// runWorkerTask resolves and executes one task frame, emitting its result
+// or error frame. Addressing failures (unknown experiment, unplannable
+// config, index out of range, un-encodable output) are reported as error
+// frames rather than terminating the worker: they fail the batch with a
+// labeled error orchestrator-side, exactly like a failing task.
+func runWorkerTask(ctx context.Context, enc *json.Encoder, plans map[string]*TaskPlan, tf *TaskFrame) error {
+	fail := func(err error) error {
+		return enc.Encode(ErrorFrame{
+			Type:     FrameError,
+			ID:       tf.ID,
+			Error:    err.Error(),
+			Canceled: errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded),
+		})
+	}
+	e, ok := Lookup(tf.Experiment)
+	if !ok {
+		return fail(ErrUnknownExperiment(tf.Experiment))
+	}
+	key := workerPlanKey(tf.Experiment, tf.Config)
+	plan, ok := plans[key]
+	if !ok {
+		var err error
+		plan, err = e.plan(tf.Config)
+		if err != nil {
+			return fail(err)
+		}
+		plans[key] = plan
+	}
+	if tf.Index < 0 || tf.Index >= len(plan.Tasks) {
+		return fail(fmt.Errorf("exp: %s: task index %d out of range (plan has %d tasks)",
+			tf.Experiment, tf.Index, len(plan.Tasks)))
+	}
+	if plan.Encode == nil {
+		return fail(fmt.Errorf("exp: %s: plan outputs are not wire-encodable", tf.Experiment))
+	}
+	started := time.Now()
+	out, err := plan.Tasks[tf.Index].Run(ctx)
+	if err != nil {
+		return fail(err)
+	}
+	raw, err := plan.Encode(out)
+	if err != nil {
+		return fail(err)
+	}
+	return enc.Encode(ResultFrame{
+		Type:      FrameResult,
+		ID:        tf.ID,
+		ElapsedMS: float64(time.Since(started).Microseconds()) / 1000,
+		Output:    raw,
+	})
+}

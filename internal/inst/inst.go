@@ -103,6 +103,21 @@ func (k Key) String() string {
 	return fmt.Sprintf("%s(%d,%d,%s)", k.Kind, k.A, k.B, k.Lengths)
 }
 
+// Core returns the key of the hierarchical core the instance is built
+// around: the composite weighted/weight-augmented kinds share a
+// KindHierarchical core tree (they request it through the same cache — see
+// Weighted and Aug), so their core key names the entry concurrent composites
+// can reuse. Every other kind is its own core. Schedulers use the core key
+// as a task-affinity group: tasks whose instances share a core are routed to
+// the same worker process so the core is built once per process.
+func (k Key) Core() Key {
+	switch k.Kind {
+	case KindWeighted, KindAug:
+		return Key{Kind: KindHierarchical, Lengths: k.Lengths}
+	}
+	return k
+}
+
 // PathKey is the cache key for graph.BuildPath(n).
 func PathKey(n int) Key { return Key{Kind: KindPath, A: n} }
 

@@ -1,6 +1,8 @@
 package inst
 
 import (
+	"encoding/json"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -335,5 +337,58 @@ func TestReset(t *testing.T) {
 	}
 	if s := c.Stats(); s.Builds != 1 {
 		t.Fatalf("entry survived reset: %+v", s)
+	}
+}
+
+// TestKeyCore: composite keys route to their shared hierarchical core —
+// the affinity group the multi-process dispatcher co-locates tasks by —
+// while every non-composite key is its own core.
+func TestKeyCore(t *testing.T) {
+	p := weighted.Problem{Variant: hierarchy.Coloring25, Delta: 5, D: 2, K: 2}
+	core := HierarchicalKey([]int{4, 16})
+	if got := WeightedKey(p, []int{4, 16}, 100).Core(); got != core {
+		t.Fatalf("weighted core = %v, want %v", got, core)
+	}
+	if got := AugKey(2, 5, []int{4, 16}, 100).Core(); got != core {
+		t.Fatalf("weightaug core = %v, want %v", got, core)
+	}
+	// Composites sharing a path-length vector share one core group even
+	// when every other parameter differs.
+	q := weighted.Problem{Variant: hierarchy.Coloring35, Delta: 7, D: 3, K: 2}
+	if WeightedKey(p, []int{4, 16}, 100).Core() != WeightedKey(q, []int{4, 16}, 999).Core() {
+		t.Fatal("same-core composites landed in different affinity groups")
+	}
+	for _, k := range []Key{PathKey(7), BalancedKey(5, 100), core} {
+		if k.Core() != k {
+			t.Fatalf("non-composite key %v is not its own core (%v)", k, k.Core())
+		}
+	}
+}
+
+// TestStatsJSONRoundTrip: the stats snapshot serializes losslessly — it
+// crosses the worker protocol's stats frame, so per-worker counters must
+// survive the wire.
+func TestStatsJSONRoundTrip(t *testing.T) {
+	c := New(0)
+	if _, err := c.Path(50); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Path(50); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Hierarchical([]int{3, 9}); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Stats
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Fatalf("stats did not round-trip:\n%+v\nvs\n%+v", s, back)
 	}
 }

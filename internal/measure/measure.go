@@ -51,16 +51,25 @@ type Table struct {
 func (t *Table) AddRow(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
-		switch v := c.(type) {
-		case string:
-			row[i] = v
-		case float64:
-			row[i] = fmt.Sprintf("%.4g", v)
-		default:
-			row[i] = fmt.Sprint(v)
-		}
+		row[i] = FormatCell(c)
 	}
 	t.Rows = append(t.Rows, row)
+}
+
+// FormatCell renders one cell value the way AddRow stores it: strings pass
+// through, float64 uses %.4g, everything else %v. It is exported so that a
+// task output serialized across a process boundary (internal/exp's worker
+// protocol) can carry pre-formatted cells and reassemble into byte-identical
+// tables.
+func FormatCell(c any) string {
+	switch v := c.(type) {
+	case string:
+		return v
+	case float64:
+		return fmt.Sprintf("%.4g", v)
+	default:
+		return fmt.Sprint(v)
+	}
 }
 
 // Format renders the table with aligned columns.

@@ -67,6 +67,7 @@ package repro
 
 import (
 	"context"
+	"io"
 
 	"repro/internal/exp"
 	"repro/internal/inst"
@@ -106,6 +107,10 @@ type TaskPlan = exp.TaskPlan
 // Drift is one divergence reported by CompareResults.
 type Drift = exp.Drift
 
+// WorkerStats is one worker subprocess's shutdown report (task count and
+// instance-cache counters), delivered through BatchOptions.OnWorkerStats.
+type WorkerStats = exp.WorkerStats
+
 // CacheStats is a snapshot of the instance-cache counters.
 type CacheStats = inst.Stats
 
@@ -129,6 +134,25 @@ func RunExperiment(ctx context.Context, name string, cfg RunConfig) (*RunResult,
 func RunBatch(ctx context.Context, exps []*Experiment, opts BatchOptions) ([]*RunResult, error) {
 	return exp.RunBatch(ctx, exps, opts)
 }
+
+// RunWorker speaks the worker side of the multi-process batch protocol over
+// r/w until EOF; see exp.RunWorker and docs/DISTRIBUTED.md. It is the loop
+// behind the `experiments worker` subcommand, which BatchOptions.Workers
+// spawns one subprocess per worker of.
+func RunWorker(ctx context.Context, r io.Reader, w io.Writer) error {
+	return exp.RunWorker(ctx, r, w)
+}
+
+// CatalogHash fingerprints the registered experiment catalog; orchestrator
+// and worker compare it at handshake so catalog-skewed binaries refuse to
+// exchange tasks. See exp.CatalogHash.
+func CatalogHash() string { return exp.CatalogHash() }
+
+// BuildID fingerprints the running binary (module version plus VCS
+// revision when stamped); the worker handshake compares it so a worker
+// built from different code is refused even when its catalog agrees. See
+// exp.BuildID.
+func BuildID() string { return exp.BuildID() }
 
 // WriteResults persists results in canonical (elapsed-stripped) JSON form:
 // one file per run under a directory, or a single array at a .json path.
