@@ -38,12 +38,14 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"sort"
 	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/measure"
@@ -79,6 +81,7 @@ func main() {
 		parallel   = flag.Int("parallel", 1, "simulator worker count (-1 = GOMAXPROCS)")
 		shards     = flag.Int("shards", 0, "simulator shard count: partition each simulated tree into contiguous node-range shards (0/1 = unsharded, -1 = GOMAXPROCS); results are identical at every count")
 		seed       = flag.Uint64("seed", 0, "override the experiments' default ID seeds (0 = defaults)")
+		timeout    = flag.Duration("timeout", 0, "overall batch deadline (e.g. 90s, 10m); a run exceeding it fails labeled instead of hanging (0 = none)")
 		out        = flag.String("out", "", "persist canonical results: a directory (one file per run) or a .json path (single array)")
 		cacheStats = flag.Bool("cache-stats", false, "print instance-cache counters to stderr after the run")
 		quick      = flag.Bool("quick", false, "legacy alias for -preset quick")
@@ -94,7 +97,7 @@ func main() {
 		jsonOut: *jsonOut, ndjson: *ndjson, markdown: *markdown,
 		jobs: *jobs, workers: *workers, workerRetry: *retry,
 		parallel: *parallel, shards: *shards, seed: *seed,
-		out: *out, cacheStats: *cacheStats,
+		timeout: *timeout, out: *out, cacheStats: *cacheStats,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -108,6 +111,7 @@ type options struct {
 	run, preset, out                            string
 	jobs, workers, parallel, shards             int
 	seed                                        uint64
+	timeout                                     time.Duration
 }
 
 func mainE(ctx context.Context, opts options) error {
@@ -123,6 +127,15 @@ func mainE(ctx context.Context, opts options) error {
 	exps, err := selectExperiments(opts.run)
 	if err != nil {
 		return err
+	}
+	if opts.timeout > 0 {
+		// The deadline wraps the whole batch: RunBatch's first-failure
+		// machinery cancels every in-flight task when it expires, so a hung
+		// run fails labeled instead of forever. The expd service reuses the
+		// same plumbing for per-request deadlines.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.timeout)
+		defer cancel()
 	}
 	batch := repro.BatchOptions{
 		Jobs:        opts.jobs,
@@ -148,6 +161,9 @@ func mainE(ctx context.Context, opts options) error {
 		}
 	}
 	if err != nil {
+		if opts.timeout > 0 && errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("batch timed out after %v: %w", opts.timeout, err)
+		}
 		return err
 	}
 	if opts.out != "" {
@@ -307,37 +323,14 @@ func presetNames(presets map[string][]int) string {
 	return strings.Join(append(names, extra...), "|")
 }
 
-// catalogEntry is the machine-readable form of one registered experiment,
-// emitted by `experiments -list -json`: everything needed to drive a run
-// without reading drivers.go.
-type catalogEntry struct {
-	Name        string           `json:"name"`
-	Theory      string           `json:"theory,omitempty"`
-	Description string           `json:"description,omitempty"`
-	Presets     map[string][]int `json:"presets,omitempty"`
-	DefaultSeed uint64           `json:"default_seed,omitempty"`
-	// Decomposable reports whether the experiment plans per-sweep-point
-	// tasks (so -jobs parallelizes inside its sweep, not just across
-	// experiments).
-	Decomposable bool `json:"decomposable"`
-}
-
 func printList(jsonOut bool) error {
 	if jsonOut {
-		entries := make([]catalogEntry, 0)
-		for _, e := range repro.Experiments() {
-			entries = append(entries, catalogEntry{
-				Name:         e.Name,
-				Theory:       e.Theory,
-				Description:  e.Description,
-				Presets:      e.Presets,
-				DefaultSeed:  e.DefaultSeed,
-				Decomposable: e.Plan != nil,
-			})
-		}
+		// repro.Catalog is the shared machine-readable catalog; the expd
+		// service serves the same value at GET /v1/experiments, and CI
+		// cmp-checks the two outputs byte-for-byte.
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(entries)
+		return enc.Encode(repro.Catalog())
 	}
 	tb := measure.Table{
 		Title:  "registered experiments",

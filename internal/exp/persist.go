@@ -32,9 +32,43 @@ func Canonical(res *Result) *Result {
 }
 
 // ResultKey identifies a persisted run: experiment + preset + seed. It is
-// the per-result file stem of WriteResults and the join key of Compare.
+// the per-result file stem of WriteResults, the join key of Compare, and the
+// memoization key of the expd result store (internal/serve). Parallelism and
+// shards are deliberately absent: they are execution mechanics that the
+// canonical form strips, so runs differing only in scheduling share a key.
 func ResultKey(res *Result) string {
-	return fmt.Sprintf("%s__%s__seed%d", res.Name, res.Preset, res.Seed)
+	return resultKey(res.Name, res.Preset, res.Seed)
+}
+
+func resultKey(name, preset string, seed uint64) string {
+	return fmt.Sprintf("%s__%s__seed%d", name, preset, seed)
+}
+
+// ResultKeyFor returns the ResultKey a run of e under cfg will persist as,
+// resolving the preset default ("" means standard) and the seed default
+// (0 means the experiment's DefaultSeed) exactly the way Run stamps them
+// into the Result. It fails on a preset the experiment does not declare, so
+// a caller can reject a request before computing anything. The key is
+// independent of cfg.Parallelism and cfg.Shards, matching Canonical.
+func (e *Experiment) ResultKeyFor(cfg RunConfig) (string, error) {
+	_, preset, err := e.sizesFor(cfg)
+	if err != nil {
+		return "", err
+	}
+	return resultKey(e.Name, preset, e.seedFor(cfg)), nil
+}
+
+// CanonicalJSON renders res exactly as WriteResults persists it in a
+// directory result set: the canonical (elapsed- and mechanics-stripped)
+// form, two-space indented, newline terminated. It is the byte contract of
+// the expd result store — a served response must be byte-identical to the
+// file cmd/experiments -out writes for the same ResultKey.
+func CanonicalJSON(res *Result) ([]byte, error) {
+	raw, err := json.MarshalIndent(Canonical(res), "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(raw, '\n'), nil
 }
 
 // WriteResults persists results in canonical form. A path ending in ".json"
@@ -74,12 +108,12 @@ func WriteResults(path string, results []*Result) error {
 		}
 	}
 	for _, res := range canon {
-		raw, err := json.MarshalIndent(res, "", "  ")
+		raw, err := CanonicalJSON(res)
 		if err != nil {
 			return err
 		}
 		file := filepath.Join(path, ResultKey(res)+".json")
-		if err := os.WriteFile(file, append(raw, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(file, raw, 0o644); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,248 @@
+package exp
+
+// Error-path coverage for the persistence loader and key derivation: the
+// expd result store's correctness rests on LoadResults rejecting garbage
+// cleanly and on ResultKey being collision-free across the whole catalog.
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadResultsEmptyDir: a directory with no result files is an explicit
+// error, not a silent empty set.
+func TestLoadResultsEmptyDir(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadResults(dir); err == nil || !strings.Contains(err.Error(), "no result files") {
+		t.Fatalf("err = %v, want 'no result files'", err)
+	}
+}
+
+// TestLoadResultsMissingPath: a nonexistent path fails with the stat error.
+func TestLoadResultsMissingPath(t *testing.T) {
+	if _, err := LoadResults(filepath.Join(t.TempDir(), "nope")); !os.IsNotExist(err) {
+		t.Fatalf("err = %v, want IsNotExist", err)
+	}
+}
+
+// TestLoadResultFileCorrupt: syntactically broken JSON fails and the error
+// names the offending file.
+func TestLoadResultFileCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "broken.json")
+	if err := os.WriteFile(file, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadResults(dir)
+	if err == nil {
+		t.Fatal("corrupt file loaded without error")
+	}
+	if !strings.Contains(err.Error(), "broken.json") {
+		t.Fatalf("error %q does not name the corrupt file", err)
+	}
+}
+
+// TestLoadResultFileWrongShape: valid JSON that is neither a result array
+// nor a result object is rejected with the canonical message.
+func TestLoadResultFileWrongShape(t *testing.T) {
+	for _, raw := range []string{"42", `"a string"`, "[1, 2, 3]"} {
+		file := filepath.Join(t.TempDir(), "shape.json")
+		if err := os.WriteFile(file, []byte(raw), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := loadResultFile(file)
+		if err == nil || !strings.Contains(err.Error(), "neither a result array nor a result object") {
+			t.Fatalf("payload %s: err = %v, want shape error", raw, err)
+		}
+	}
+}
+
+// TestLoadResultsMixedSchemaVersions: a directory holding a schema-1 file
+// (the unstamped PR 1-3 format) next to schema-2 files loads both, with
+// each result's schema field preserved — the loader never rewrites history.
+func TestLoadResultsMixedSchemaVersions(t *testing.T) {
+	dir := t.TempDir()
+	v1 := `{
+  "name": "legacy-run",
+  "preset": "quick",
+  "seed": 3,
+  "elapsed_ms": 0,
+  "tables": [{"title": "t", "header": ["a"], "rows": [["1"]]}]
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "legacy-run__quick__seed3.json"), []byte(v1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := CanonicalJSON(&Result{Schema: SchemaVersion, Name: "modern-run", Preset: "quick", Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "modern-run__quick__seed4.json"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	results, err := LoadResults(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("loaded %d results, want 2", len(results))
+	}
+	bySchema := map[int]string{}
+	for _, r := range results {
+		bySchema[r.Schema] = r.Name
+	}
+	if bySchema[0] != "legacy-run" {
+		t.Fatalf("schema-1 (unstamped) result = %q, want legacy-run", bySchema[0])
+	}
+	if bySchema[SchemaVersion] != "modern-run" {
+		t.Fatalf("schema-%d result = %q, want modern-run", SchemaVersion, bySchema[SchemaVersion])
+	}
+}
+
+// TestLoadResultsSkipsNonResultEntries: subdirectories and non-.json files
+// are ignored, not misparsed.
+func TestLoadResultsSkipsNonResultEntries(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "sub.json"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := CanonicalJSON(&Result{Schema: SchemaVersion, Name: "only-run", Preset: "quick", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "only-run__quick__seed1.json"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	results, err := LoadResults(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Name != "only-run" {
+		t.Fatalf("loaded %v, want exactly only-run", results)
+	}
+}
+
+// TestResultKeyUniqueAcrossCatalog: every (experiment, declared preset)
+// pair of the full catalog — at the default seed and at an override —
+// derives a distinct ResultKey. The result store memoizes on this key, so
+// a collision would serve one experiment's bytes for another's request.
+func TestResultKeyUniqueAcrossCatalog(t *testing.T) {
+	seen := map[string]string{}
+	record := func(key, what string) {
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("ResultKey collision: %s and %s both derive %q", prev, what, key)
+		}
+		seen[key] = what
+	}
+	for _, e := range List() {
+		presets := []string{""}
+		for p := range e.Presets {
+			presets = append(presets, p)
+		}
+		for _, preset := range presets {
+			for _, seed := range []uint64{0, 99} {
+				cfg := RunConfig{Preset: preset, Seed: seed}
+				key, err := e.ResultKeyFor(cfg)
+				if err != nil {
+					t.Fatalf("%s preset %q: %v", e.Name, preset, err)
+				}
+				what := e.Name + "/" + preset + "/seed-override"
+				if seed == 0 {
+					what = e.Name + "/" + preset + "/default-seed"
+				}
+				// "" resolves to standard: the same key on purpose — skip
+				// the duplicate registration, but verify the equivalence.
+				if preset == "" {
+					std, err := e.ResultKeyFor(RunConfig{Preset: PresetStandard, Seed: seed})
+					if err == nil && std != key {
+						t.Fatalf("%s: empty preset key %q != standard key %q", e.Name, key, std)
+					}
+					continue
+				}
+				record(key, what)
+			}
+		}
+	}
+	if len(seen) < 18 {
+		t.Fatalf("only %d catalog keys recorded; catalog shrank?", len(seen))
+	}
+}
+
+// TestResultKeyForMatchesRunStamp: the key derived before a run equals the
+// key of the Result the run actually produces — the store's lookup key and
+// its write-through key cannot diverge.
+func TestResultKeyForMatchesRunStamp(t *testing.T) {
+	e, ok := Lookup("survivors")
+	if !ok {
+		t.Fatal("survivors not registered")
+	}
+	for _, cfg := range []RunConfig{
+		{Preset: PresetQuick},
+		{Preset: ""},
+		{Preset: PresetQuick, Seed: 42},
+	} {
+		want, err := e.ResultKeyFor(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ResultKey(res); got != want {
+			t.Fatalf("cfg %+v: ResultKeyFor = %q but run stamped %q", cfg, want, got)
+		}
+	}
+}
+
+// TestResultKeyForRejectsUnknownPreset: key derivation validates the preset
+// so a bad request is refused before any computation.
+func TestResultKeyForRejectsUnknownPreset(t *testing.T) {
+	e, ok := Lookup("survivors")
+	if !ok {
+		t.Fatal("survivors not registered")
+	}
+	if _, err := e.ResultKeyFor(RunConfig{Preset: "bogus"}); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+// TestCanonicalJSONMatchesWriteResults: CanonicalJSON is byte-for-byte the
+// per-result file WriteResults persists — the store and the -out directory
+// share one byte contract.
+func TestCanonicalJSONMatchesWriteResults(t *testing.T) {
+	res := &Result{
+		Schema:      SchemaVersion,
+		Name:        "test-canon",
+		Preset:      "quick",
+		Seed:        5,
+		Parallelism: 4,   // stripped by the canonical form
+		Shards:      2,   // stripped
+		ElapsedMS:   9.5, // stripped
+	}
+	dir := t.TempDir()
+	if err := WriteResults(dir, []*Result{res}); err != nil {
+		t.Fatal(err)
+	}
+	file, err := os.ReadFile(filepath.Join(dir, ResultKey(res)+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := CanonicalJSON(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != string(file) {
+		t.Fatalf("CanonicalJSON differs from the WriteResults file:\n%s\nvs\n%s", raw, file)
+	}
+	if strings.Contains(string(raw), "parallelism") || strings.Contains(string(raw), "shards") {
+		t.Fatal("canonical form leaked execution-mechanics fields")
+	}
+}

@@ -76,3 +76,37 @@ func Names() []string {
 	defer registry.RUnlock()
 	return append([]string(nil), registry.order...)
 }
+
+// CatalogEntry is the machine-readable form of one registered experiment:
+// everything needed to drive a run without reading drivers.go. It is the
+// element type of `experiments -list -json` and of the expd service's
+// GET /v1/experiments, which must stay byte-identical.
+type CatalogEntry struct {
+	Name        string           `json:"name"`
+	Theory      string           `json:"theory,omitempty"`
+	Description string           `json:"description,omitempty"`
+	Presets     map[string][]int `json:"presets,omitempty"`
+	DefaultSeed uint64           `json:"default_seed,omitempty"`
+	// Decomposable reports whether the experiment plans per-sweep-point
+	// tasks (so schedulers parallelize inside its sweep, not just across
+	// experiments).
+	Decomposable bool `json:"decomposable"`
+}
+
+// Catalog returns the machine-readable catalog of every registered
+// experiment, in registration order.
+func Catalog() []CatalogEntry {
+	exps := List()
+	entries := make([]CatalogEntry, 0, len(exps))
+	for _, e := range exps {
+		entries = append(entries, CatalogEntry{
+			Name:         e.Name,
+			Theory:       e.Theory,
+			Description:  e.Description,
+			Presets:      e.Presets,
+			DefaultSeed:  e.DefaultSeed,
+			Decomposable: e.Plan != nil,
+		})
+	}
+	return entries
+}

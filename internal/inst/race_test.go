@@ -1,0 +1,137 @@
+package inst
+
+// Concurrency audit of the cache. Every path through Cache — hit, miss,
+// coalesced miss, LRU eviction, Stats snapshot, Reset — runs under c.mu,
+// and a singleflight call publishes val/err before wg.Done, so waiters
+// observe the build result happens-before their wakeup. These tests hammer
+// all of those paths from parallel goroutines so `go test -race` would
+// surface any regression of that discipline.
+
+import (
+	"sync"
+	"testing"
+)
+
+// hammer runs fn from workers goroutines, iters times each, alongside a
+// dedicated goroutine that continuously snapshots Stats until the workers
+// finish.
+func hammer(t *testing.T, c *Cache, workers, iters int, fn func(worker, iter int)) {
+	t.Helper()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := c.Stats()
+				if s.Entries < 0 || s.Nodes < 0 {
+					t.Errorf("negative occupancy snapshot: %+v", s)
+					return
+				}
+			}
+		}
+	}()
+	var work sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		work.Add(1)
+		go func(w int) {
+			defer work.Done()
+			for i := 0; i < iters; i++ {
+				fn(w, i)
+			}
+		}(w)
+	}
+	work.Wait()
+	close(stop)
+	wg.Wait()
+}
+
+// TestCacheConcurrentHammer drives hits, misses, coalesced builds, and LRU
+// evictions from parallel goroutines while Stats is read concurrently, with
+// a bound small enough that the working set cannot all stay resident. After
+// the dust settles the counter algebra must hold exactly.
+func TestCacheConcurrentHammer(t *testing.T) {
+	// Paths of 50..57 nodes plus a 10-node balanced tree and a {3,4}
+	// hierarchical instance against a 200-node bound: every iteration risks
+	// evicting someone else's entry, so rebuilds and evictions both churn.
+	c := New(200)
+	const workers, iters = 16, 200
+	var requests int64 = int64(workers * iters * 3)
+
+	hammer(t, c, workers, iters, func(w, i int) {
+		if tr, err := c.Path(50 + (w+i)%8); err != nil || tr == nil {
+			t.Errorf("Path: %v", err)
+		}
+		if tr, err := c.Balanced(3, 10); err != nil || tr == nil {
+			t.Errorf("Balanced: %v", err)
+		}
+		if h, err := c.Hierarchical([]int{3, 4}); err != nil || h == nil {
+			t.Errorf("Hierarchical: %v", err)
+		}
+	})
+
+	s := c.Stats()
+	if s.Hits+s.Misses != uint64(requests) {
+		t.Fatalf("hits %d + misses %d != %d requests", s.Hits, s.Misses, requests)
+	}
+	if s.Misses != s.Builds+s.Coalesced {
+		t.Fatalf("misses %d != builds %d + coalesced %d", s.Misses, s.Builds, s.Coalesced)
+	}
+	if s.Builds == 0 || s.Hits == 0 {
+		t.Fatalf("hammer exercised nothing: %+v", s)
+	}
+	var kindHits, kindBuilds uint64
+	var kindEntries int
+	var kindNodes int64
+	for _, ks := range s.Kinds {
+		kindHits += ks.Hits
+		kindBuilds += ks.Builds
+		kindEntries += ks.Entries
+		kindNodes += ks.Nodes
+	}
+	if kindHits != s.Hits || kindBuilds != s.Builds {
+		t.Fatalf("per-kind counters (hits %d, builds %d) disagree with totals (%d, %d)",
+			kindHits, kindBuilds, s.Hits, s.Builds)
+	}
+	if kindEntries != s.Entries || kindNodes != s.Nodes {
+		t.Fatalf("per-kind occupancy (%d entries, %d nodes) disagrees with totals (%d, %d)",
+			kindEntries, kindNodes, s.Entries, s.Nodes)
+	}
+	if s.Evictions == 0 {
+		t.Fatal("bound of 200 nodes never evicted; the hammer is not stressing the LRU")
+	}
+}
+
+// TestCacheConcurrentReset interleaves Reset with the request paths: the
+// counters lose history by design, but occupancy must stay consistent and
+// nothing may race or deadlock.
+func TestCacheConcurrentReset(t *testing.T) {
+	c := New(500)
+	hammer(t, c, 8, 100, func(w, i int) {
+		if w == 0 && i%10 == 0 {
+			c.Reset()
+			return
+		}
+		if _, err := c.Path(50 + i%4); err != nil {
+			t.Errorf("Path: %v", err)
+		}
+		if _, err := c.Balanced(3, 10); err != nil {
+			t.Errorf("Balanced: %v", err)
+		}
+	})
+	s := c.Stats()
+	if s.Entries < 0 || s.Nodes < 0 || s.Entries > 5 {
+		t.Fatalf("implausible post-reset occupancy: %+v", s)
+	}
+	// The cache must still work after the churn.
+	if _, err := c.Path(50); err != nil {
+		t.Fatal(err)
+	}
+	if hits := c.Stats().Hits; hits == 0 && c.Stats().Builds == 0 {
+		t.Fatal("cache dead after reset churn")
+	}
+}

@@ -1,0 +1,254 @@
+package serve
+
+// The load-test harness behind `expd loadtest`: it boots a real Server on a
+// loopback listener, drives it with concurrent HTTP clients, and reports
+// cold (result-store miss, full compute) versus warm (store hit, zero
+// compute) latency and throughput per concurrency level. The committed
+// BENCH_expd.json is one run of this harness.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadOptions parameterizes LoadTest.
+type LoadOptions struct {
+	// Experiment and Preset select the queried result family; every request
+	// uses a distinct seed, so each cold request is a genuinely distinct
+	// key requiring a full computation.
+	Experiment string
+	Preset     string
+	// Requests is the request count per phase per concurrency level.
+	Requests int
+	// Concurrency lists the client concurrency levels to measure.
+	Concurrency []int
+	// Jobs is the server-side task parallelism per admitted computation.
+	Jobs int
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+// PhaseStats are the measurements of one phase (cold or warm) at one
+// concurrency level.
+type PhaseStats struct {
+	Requests      int     `json:"requests"`
+	Errors        int     `json:"errors"`
+	TotalMS       float64 `json:"total_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50MS         float64 `json:"p50_ms"`
+	P95MS         float64 `json:"p95_ms"`
+	MaxMS         float64 `json:"max_ms"`
+	// StoreHits is how many of the phase's requests the result store
+	// absorbed: 0 in a cold phase, Requests in a fully warm one.
+	StoreHits uint64 `json:"store_hits"`
+}
+
+// LevelStats pairs the two phases measured at one concurrency level.
+type LevelStats struct {
+	Concurrency int        `json:"concurrency"`
+	Cold        PhaseStats `json:"cold"`
+	Warm        PhaseStats `json:"warm"`
+}
+
+// LoadReport is the marshaled outcome of a LoadTest run.
+type LoadReport struct {
+	Schema           int    `json:"schema"`
+	Experiment       string `json:"experiment"`
+	Preset           string `json:"preset"`
+	RequestsPerPhase int    `json:"requests_per_phase"`
+	ServerJobs       int    `json:"server_jobs"`
+	// Note documents the phase semantics for readers of the committed file.
+	Note   string       `json:"note"`
+	Levels []LevelStats `json:"levels"`
+}
+
+// LoadTest measures the service under concurrent clients: for each
+// concurrency level, a cold phase of Requests distinct-seed requests (every
+// one computes) followed by a warm phase replaying the same requests (every
+// one is a store hit). The server runs in-process on a loopback listener
+// with admission sized generously — the harness measures latency under
+// load, not shedding (shedding is covered by the 429 tests).
+func LoadTest(ctx context.Context, opts LoadOptions) (*LoadReport, error) {
+	if opts.Experiment == "" {
+		opts.Experiment = "twocoloring-gap"
+	}
+	if opts.Preset == "" {
+		opts.Preset = "quick"
+	}
+	if opts.Requests <= 0 {
+		opts.Requests = 32
+	}
+	if len(opts.Concurrency) == 0 {
+		opts.Concurrency = []int{1, 8}
+	}
+	logf := func(format string, args ...any) {
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, format+"\n", args...)
+		}
+	}
+
+	dir, err := os.MkdirTemp("", "expd-loadtest-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := NewStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := New(Config{
+		Store: store,
+		Jobs:  opts.Jobs,
+		// Admission sized so the harness never sheds: capacity for every
+		// client's whole task weight plus queue headroom.
+		MaxInFlight: 1 << 20,
+		MaxQueue:    1 << 20,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	maxC := 0
+	for _, c := range opts.Concurrency {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: maxC}}
+
+	report := &LoadReport{
+		Schema:           1,
+		Experiment:       opts.Experiment,
+		Preset:           opts.Preset,
+		RequestsPerPhase: opts.Requests,
+		ServerJobs:       srv.cfg.Jobs,
+		Note: "cold = result-store miss (distinct seed per request, full compute); " +
+			"warm = same requests replayed (store hit, zero compute)",
+	}
+	seedBase := uint64(1000)
+	for li, conc := range opts.Concurrency {
+		if conc < 1 {
+			conc = 1
+		}
+		urls := make([]string, opts.Requests)
+		for i := range urls {
+			seed := seedBase + uint64(li*opts.Requests+i)
+			urls[i] = fmt.Sprintf("%s/v1/experiments/%s?preset=%s&seed=%d",
+				base, opts.Experiment, opts.Preset, seed)
+		}
+		level := LevelStats{Concurrency: conc}
+		logf("level c=%d: cold phase (%d requests)", conc, opts.Requests)
+		level.Cold, err = runPhase(ctx, client, store, urls, conc)
+		if err != nil {
+			return nil, err
+		}
+		logf("level c=%d: warm phase (%d requests)", conc, opts.Requests)
+		level.Warm, err = runPhase(ctx, client, store, urls, conc)
+		if err != nil {
+			return nil, err
+		}
+		report.Levels = append(report.Levels, level)
+		logf("level c=%d: cold %.1f req/s p50 %.1fms | warm %.1f req/s p50 %.2fms",
+			conc, level.Cold.ThroughputRPS, level.Cold.P50MS,
+			level.Warm.ThroughputRPS, level.Warm.P50MS)
+	}
+	return report, nil
+}
+
+// runPhase fires the urls across conc workers and aggregates latencies.
+func runPhase(ctx context.Context, client *http.Client, store *Store, urls []string, conc int) (PhaseStats, error) {
+	hitsBefore := store.Stats().Hits
+	latencies := make([]float64, len(urls))
+	errs := make([]error, len(urls))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	started := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				t0 := time.Now()
+				errs[i] = fetchOK(ctx, client, urls[i])
+				latencies[i] = float64(time.Since(t0).Microseconds()) / 1000
+			}
+		}()
+	}
+	for i := range urls {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	total := time.Since(started)
+
+	var st PhaseStats
+	st.Requests = len(urls)
+	for _, err := range errs {
+		if err != nil {
+			st.Errors++
+		}
+	}
+	if ctx.Err() != nil {
+		return st, ctx.Err()
+	}
+	st.TotalMS = float64(total.Microseconds()) / 1000
+	if total > 0 {
+		st.ThroughputRPS = float64(len(urls)) / total.Seconds()
+	}
+	sort.Float64s(latencies)
+	st.P50MS = percentile(latencies, 50)
+	st.P95MS = percentile(latencies, 95)
+	st.MaxMS = latencies[len(latencies)-1]
+	st.StoreHits = store.Stats().Hits - hitsBefore
+	return st, nil
+}
+
+// fetchOK performs one GET and fails on any non-200 or empty body.
+func fetchOK(ctx context.Context, client *http.Client, url string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, raw)
+	}
+	if len(raw) == 0 {
+		return fmt.Errorf("%s: empty body", url)
+	}
+	return nil
+}
+
+// percentile reads the p-th percentile from sorted latencies.
+func percentile(sorted []float64, p int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted) - 1) * p / 100
+	return sorted[idx]
+}

@@ -1,0 +1,123 @@
+package serve
+
+// Admission control: a weighted semaphore with a bounded wait queue. The
+// weight unit is one schedulable task (one sweep point), so a stress-preset
+// batch request weighs its whole task count while a catalog lookup weighs
+// nothing. Saturation — the queue bound reached — is reported immediately as
+// ErrSaturated, which the HTTP layer maps to 429 + Retry-After: the service
+// sheds load instead of queuing unboundedly.
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrSaturated is returned by Acquire when the semaphore is full and the
+// wait queue has reached its bound. The HTTP layer maps it to 429.
+var ErrSaturated = errors.New("serve: compute saturated")
+
+// waiter is one queued acquisition; ready is closed when capacity is
+// granted.
+type waiter struct {
+	weight int64
+	ready  chan struct{}
+}
+
+// semaphore is a weighted semaphore with FIFO granting and a bounded wait
+// queue. The zero value is not usable; construct with newSemaphore.
+type semaphore struct {
+	mu       sync.Mutex
+	capacity int64
+	inUse    int64
+	maxQueue int
+	queue    *list.List // of *waiter, FIFO
+	rejected uint64
+}
+
+func newSemaphore(capacity int64, maxQueue int) *semaphore {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &semaphore{capacity: capacity, maxQueue: maxQueue, queue: list.New()}
+}
+
+// Acquire claims weight units of capacity, waiting in FIFO order while the
+// semaphore is full, and returns the matching release function. Weights
+// larger than the total capacity are clamped to it (a request bigger than
+// the machine still runs — alone — rather than never). Acquire fails with
+// ErrSaturated when the wait queue is at its bound, or with ctx.Err() when
+// the context ends first; in both cases no capacity is held.
+func (s *semaphore) Acquire(ctx context.Context, weight int64) (release func(), err error) {
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > s.capacity {
+		weight = s.capacity
+	}
+	s.mu.Lock()
+	// Grant immediately only when no earlier waiter is queued, so a heavy
+	// request cannot be starved by a stream of light ones slipping past it.
+	if s.inUse+weight <= s.capacity && s.queue.Len() == 0 {
+		s.inUse += weight
+		s.mu.Unlock()
+		return func() { s.release(weight) }, nil
+	}
+	if s.queue.Len() >= s.maxQueue {
+		s.rejected++
+		s.mu.Unlock()
+		return nil, ErrSaturated
+	}
+	w := &waiter{weight: weight, ready: make(chan struct{})}
+	elem := s.queue.PushBack(w)
+	s.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return func() { s.release(weight) }, nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		select {
+		case <-w.ready:
+			// The grant raced the cancellation: the capacity is ours, so
+			// hand it straight back.
+			s.mu.Unlock()
+			s.release(weight)
+		default:
+			s.queue.Remove(elem)
+			s.mu.Unlock()
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// release returns weight units and grants queued waiters in FIFO order
+// while they fit.
+func (s *semaphore) release(weight int64) {
+	s.mu.Lock()
+	s.inUse -= weight
+	if s.inUse < 0 { // defensive; Acquire/release weights always pair
+		s.inUse = 0
+	}
+	for s.queue.Len() > 0 {
+		w := s.queue.Front().Value.(*waiter)
+		if s.inUse+w.weight > s.capacity {
+			break
+		}
+		s.queue.Remove(s.queue.Front())
+		s.inUse += w.weight
+		close(w.ready)
+	}
+	s.mu.Unlock()
+}
+
+// snapshot reports the current admission state for /statsz.
+func (s *semaphore) snapshot() (inUse int64, queued int, rejected uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inUse, s.queue.Len(), s.rejected
+}

@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSemaphoreBasic: immediate grant within capacity, release restores it.
+func TestSemaphoreBasic(t *testing.T) {
+	s := newSemaphore(4, 0)
+	rel1, err := s.Acquire(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inUse, _, _ := s.snapshot(); inUse != 3 {
+		t.Fatalf("inUse = %d, want 3", inUse)
+	}
+	rel2, err := s.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel1()
+	rel2()
+	if inUse, queued, _ := s.snapshot(); inUse != 0 || queued != 0 {
+		t.Fatalf("after release: inUse=%d queued=%d, want 0/0", inUse, queued)
+	}
+}
+
+// TestSemaphoreClampsOversizedWeight: a request heavier than the whole
+// capacity still runs (alone) instead of never being admitted.
+func TestSemaphoreClampsOversizedWeight(t *testing.T) {
+	s := newSemaphore(2, 0)
+	rel, err := s.Acquire(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inUse, _, _ := s.snapshot(); inUse != 2 {
+		t.Fatalf("inUse = %d, want clamped 2", inUse)
+	}
+	rel()
+	if inUse, _, _ := s.snapshot(); inUse != 0 {
+		t.Fatal("clamped weight not fully released")
+	}
+}
+
+// TestSemaphoreSaturation: a full semaphore with a full queue rejects with
+// ErrSaturated and counts the rejection.
+func TestSemaphoreSaturation(t *testing.T) {
+	s := newSemaphore(1, 0)
+	rel, err := s.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Acquire(context.Background(), 1); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	if _, _, rejected := s.snapshot(); rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", rejected)
+	}
+	rel()
+	rel2, err := s.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("post-release acquire failed: %v", err)
+	}
+	rel2()
+}
+
+// TestSemaphoreFIFOGrant: queued waiters are granted in arrival order, and
+// a light late-comer cannot jump a heavy earlier waiter.
+func TestSemaphoreFIFOGrant(t *testing.T) {
+	s := newSemaphore(2, 2)
+	relA, err := s.Acquire(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	order := make(chan string, 2)
+	var wg sync.WaitGroup
+	acquire := func(name string, weight int64) {
+		defer wg.Done()
+		rel, err := s.Acquire(context.Background(), weight)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			return
+		}
+		order <- name
+		rel()
+	}
+	wg.Add(1)
+	go acquire("heavy", 2)
+	// Ensure "heavy" is queued before "light" arrives.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, queued, _ := s.snapshot(); queued == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("heavy waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	wg.Add(1)
+	go acquire("light", 1)
+	for {
+		if _, queued, _ := s.snapshot(); queued == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("light waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	relA()
+	wg.Wait()
+	if first := <-order; first != "heavy" {
+		t.Fatalf("first grant = %s, want heavy (FIFO)", first)
+	}
+}
+
+// TestSemaphoreQueueBound: the queue admits exactly maxQueue waiters.
+func TestSemaphoreQueueBound(t *testing.T) {
+	s := newSemaphore(1, 1)
+	rel, err := s.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		rel2, err := s.Acquire(context.Background(), 1)
+		if err == nil {
+			rel2()
+		}
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, queued, _ := s.snapshot(); queued == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := s.Acquire(context.Background(), 1); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("second waiter: err = %v, want ErrSaturated", err)
+	}
+	rel()
+	if err := <-done; err != nil {
+		t.Fatalf("queued waiter failed: %v", err)
+	}
+}
+
+// TestSemaphoreContextCancelWhileQueued: a canceled waiter leaves the queue
+// without leaking capacity or blocking later grants.
+func TestSemaphoreContextCancelWhileQueued(t *testing.T) {
+	s := newSemaphore(1, 4)
+	rel, err := s.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Acquire(ctx, 1)
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, queued, _ := s.snapshot(); queued == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, queued, _ := s.snapshot(); queued != 0 {
+		t.Fatal("canceled waiter still queued")
+	}
+	rel()
+	rel2, err := s.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("acquire after canceled waiter: %v", err)
+	}
+	rel2()
+	if inUse, queued, _ := s.snapshot(); inUse != 0 || queued != 0 {
+		t.Fatalf("leaked state: inUse=%d queued=%d", inUse, queued)
+	}
+}

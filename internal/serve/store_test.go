@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/measure"
+)
+
+func testResult(name, preset string, seed uint64) *exp.Result {
+	return &exp.Result{
+		Schema:    exp.SchemaVersion,
+		Name:      name,
+		Preset:    preset,
+		Seed:      seed,
+		ElapsedMS: 12.5, // must be stripped by the canonical form
+		Tables:    []measure.Table{{Title: name, Header: []string{"a"}}},
+	}
+}
+
+// TestStoreRoundTrip: Put returns exactly the bytes a later Get serves,
+// and they are the canonical (elapsed-stripped) form.
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := NewStore(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := testResult("test-store-rt", "quick", 3)
+	key := exp.ResultKey(res)
+
+	if _, ok, err := s.Get(key); err != nil || ok {
+		t.Fatalf("Get before Put: ok=%v err=%v", ok, err)
+	}
+	put, err := s.Put(key, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exp.CanonicalJSON(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(put, want) {
+		t.Fatal("Put bytes differ from exp.CanonicalJSON")
+	}
+	got, ok, err := s.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("Get after Put: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(got, put) {
+		t.Fatal("Get bytes differ from Put bytes")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 put / 1 entry", st)
+	}
+}
+
+// TestStoreRejectsForgedKeys: keys with separators or dot segments cannot
+// escape the store directory.
+func TestStoreRejectsForgedKeys(t *testing.T) {
+	s, err := NewStore(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "a/b", `a\b`, "../escape", "a..b"} {
+		if _, _, err := s.Get(key); err == nil {
+			t.Errorf("Get(%q) accepted a forged key", key)
+		}
+		if _, err := s.Put(key, testResult("x", "quick", 1)); err == nil {
+			t.Errorf("Put(%q) accepted a forged key", key)
+		}
+	}
+}
+
+// TestStoreInterchangeableWithOutDir: a directory written by
+// exp.WriteResults (cmd/experiments -out) serves as a pre-warmed store —
+// the byte contract is shared.
+func TestStoreInterchangeableWithOutDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "out")
+	res := testResult("test-store-interop", "quick", 9)
+	if err := exp.WriteResults(dir, []*exp.Result{res}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, ok, err := s.Get(exp.ResultKey(res))
+	if err != nil || !ok {
+		t.Fatalf("store over -out dir missed: ok=%v err=%v", ok, err)
+	}
+	want, _ := exp.CanonicalJSON(res)
+	if !bytes.Equal(raw, want) {
+		t.Fatal("pre-warmed bytes differ from canonical form")
+	}
+}

@@ -114,8 +114,16 @@ type WorkerStats = exp.WorkerStats
 // CacheStats is a snapshot of the instance-cache counters.
 type CacheStats = inst.Stats
 
+// CatalogEntry is the machine-readable form of one registered experiment,
+// shared by `experiments -list -json` and the expd service catalog endpoint.
+type CatalogEntry = exp.CatalogEntry
+
 // Experiments returns every registered experiment in registration order.
 func Experiments() []*Experiment { return exp.List() }
+
+// Catalog returns the machine-readable experiment catalog in registration
+// order; see exp.Catalog.
+func Catalog() []CatalogEntry { return exp.Catalog() }
 
 // LookupExperiment returns the experiment registered under name.
 func LookupExperiment(name string) (*Experiment, bool) { return exp.Lookup(name) }
@@ -162,6 +170,11 @@ func WriteResults(path string, results []*RunResult) error {
 
 // LoadResults reads a result set written by WriteResults.
 func LoadResults(path string) ([]*RunResult, error) { return exp.LoadResults(path) }
+
+// CanonicalResultJSON renders a result exactly as WriteResults persists it
+// in a directory result set (canonical form, indented, newline-terminated);
+// see exp.CanonicalJSON. It is the byte contract of the expd result store.
+func CanonicalResultJSON(res *RunResult) ([]byte, error) { return exp.CanonicalJSON(res) }
 
 // CompareResults diffs two result sets and reports drift (fitted slopes
 // beyond tol, changed analytic constants, shape changes, one-sided runs).
