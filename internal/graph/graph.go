@@ -1,8 +1,15 @@
 // Package graph provides the tree substrate used throughout the library.
 //
-// A Tree is an immutable bounded-degree tree stored as adjacency lists;
-// immutability is what lets one built instance be shared freely across
-// goroutines, cache entries (package inst), and simulation shards. Trees are
+// A Tree is an immutable bounded-degree tree stored in a flat CSR
+// (compressed sparse row) layout: one contiguous neighbor array plus an
+// offset array, so walking all adjacencies is a linear sweep over one
+// allocation instead of a pointer chase through per-node slices.
+// Immutability is what lets one built instance be shared freely across
+// goroutines, cache entries (package inst), and simulation shards; the CSR
+// layout is additionally what makes a node range a *slot* range — the
+// directed-edge slots of nodes [lo, hi) occupy the contiguous interval
+// [Offsets()[lo], Offsets()[hi]) — which is the property the simulator's
+// struct-of-arrays state and shard snapshots are built on. Trees are
 // constructed incrementally with a Builder or through the Build* entry
 // points covering the paper's instance families and the generic test
 // shapes:
@@ -13,6 +20,8 @@
 //   - BuildHierarchical — the k-hierarchical lower-bound graphs of
 //     Definition 18, returned with their construction metadata
 //     (per-level paths, construction levels);
+//   - BuildGaltonWatson, BuildLadder (random.go) — seeded random tree
+//     families for ensemble experiments;
 //   - ComputeLevels (levels.go) — the peeling level computation of
 //     Definition 8, which solvers and verifiers use instead of the
 //     construction levels;
@@ -39,53 +48,83 @@ var (
 	ErrEmpty         = errors.New("graph has no nodes")
 )
 
-// Tree is an immutable bounded-degree tree stored as adjacency lists.
-// The zero value is not usable; construct trees with a Builder or one of the
-// Build* helpers.
+// Tree is an immutable bounded-degree tree in flat CSR form: the neighbors
+// of node v are nbr[off[v]:off[v+1]], and port p of v is the directed-edge
+// slot off[v]+p in any array indexed by flat slot. The zero value is not
+// usable; construct trees with a Builder or one of the Build* helpers.
 type Tree struct {
-	adj [][]int32
-	m   int // number of edges
+	off    []int32 // CSR offsets, len N()+1; off[0] = 0, off[N()] = 2*m
+	nbr    []int32 // flat neighbor array, len 2*m
+	m      int     // number of edges
+	maxDeg int     // cached max degree (computed once at construction)
+}
+
+// newCSR flattens per-node adjacency lists into CSR form. It does not
+// validate; Build does.
+func newCSR(adj [][]int32, m int) *Tree {
+	n := len(adj)
+	off := make([]int32, n+1)
+	nbr := make([]int32, 0, 2*m)
+	maxDeg := 0
+	for v, a := range adj {
+		off[v] = int32(len(nbr))
+		nbr = append(nbr, a...)
+		if len(a) > maxDeg {
+			maxDeg = len(a)
+		}
+	}
+	off[n] = int32(len(nbr))
+	return &Tree{off: off, nbr: nbr, m: m, maxDeg: maxDeg}
 }
 
 // N returns the number of nodes.
-func (t *Tree) N() int { return len(t.adj) }
+func (t *Tree) N() int { return len(t.off) - 1 }
 
 // M returns the number of edges.
 func (t *Tree) M() int { return t.m }
 
 // Degree returns the degree of node v.
-func (t *Tree) Degree(v int) int { return len(t.adj[v]) }
+func (t *Tree) Degree(v int) int { return int(t.off[v+1] - t.off[v]) }
 
-// MaxDegree returns the maximum degree over all nodes (0 for a single node).
-func (t *Tree) MaxDegree() int {
-	max := 0
-	for _, nb := range t.adj {
-		if len(nb) > max {
-			max = len(nb)
-		}
-	}
-	return max
-}
+// MaxDegree returns the maximum degree over all nodes (0 for a single
+// node). It is cached at construction time — callers in driver hot paths
+// may call it freely.
+func (t *Tree) MaxDegree() int { return t.maxDeg }
+
+// Offsets returns the CSR offset array (length N()+1): the neighbors of v
+// occupy positions Offsets()[v]..Offsets()[v+1] of AdjacencyRaw, and the
+// directed-edge slots of a contiguous node range [lo, hi) are the
+// contiguous slot interval [Offsets()[lo], Offsets()[hi]) — the property
+// the simulator's flat per-port state relies on. Callers must not modify
+// the returned slice.
+func (t *Tree) Offsets() []int32 { return t.off }
+
+// AdjacencyRaw returns the flat CSR neighbor array (length 2*M()). Entry
+// Offsets()[v]+p is the p-th neighbor (port p) of v. Callers must not
+// modify the returned slice.
+func (t *Tree) AdjacencyRaw() []int32 { return t.nbr }
 
 // Neighbors returns a copy of the neighbor list of v.
 func (t *Tree) Neighbors(v int) []int {
-	out := make([]int, len(t.adj[v]))
-	for i, u := range t.adj[v] {
+	raw := t.nbr[t.off[v]:t.off[v+1]]
+	out := make([]int, len(raw))
+	for i, u := range raw {
 		out[i] = int(u)
 	}
 	return out
 }
 
-// NeighborsRaw returns the internal neighbor slice of v. Callers must not
-// modify the returned slice; it is exposed for hot paths inside this module.
-func (t *Tree) NeighborsRaw(v int) []int32 { return t.adj[v] }
+// NeighborsRaw returns the neighbor slice of v — a subslice of the shared
+// CSR neighbor array. Callers must not modify the returned slice; it is
+// exposed for hot paths inside this module.
+func (t *Tree) NeighborsRaw(v int) []int32 { return t.nbr[t.off[v]:t.off[v+1]] }
 
 // Neighbor returns the i-th neighbor (port i) of v.
-func (t *Tree) Neighbor(v, i int) int { return int(t.adj[v][i]) }
+func (t *Tree) Neighbor(v, i int) int { return int(t.nbr[int(t.off[v])+i]) }
 
 // HasEdge reports whether {u,v} is an edge.
 func (t *Tree) HasEdge(u, v int) bool {
-	for _, w := range t.adj[u] {
+	for _, w := range t.NeighborsRaw(u) {
 		if int(w) == v {
 			return true
 		}
@@ -96,8 +135,8 @@ func (t *Tree) HasEdge(u, v int) bool {
 // Edges returns all edges as pairs (u,v) with u < v.
 func (t *Tree) Edges() [][2]int {
 	out := make([][2]int, 0, t.m)
-	for u := range t.adj {
-		for _, w := range t.adj[u] {
+	for u := 0; u < t.N(); u++ {
+		for _, w := range t.NeighborsRaw(u) {
 			if u < int(w) {
 				out = append(out, [2]int{u, int(w)})
 			}
@@ -119,7 +158,7 @@ func (t *Tree) BFS(src int) []int {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, w := range t.adj[v] {
+		for _, w := range t.NeighborsRaw(int(v)) {
 			if dist[w] == -1 {
 				dist[w] = dist[v] + 1
 				queue = append(queue, w)
@@ -164,7 +203,7 @@ func (t *Tree) Ball(v, r int) []int {
 		if dist[u] == r {
 			continue
 		}
-		for _, w := range t.adj[u] {
+		for _, w := range t.NeighborsRaw(int(u)) {
 			if _, ok := dist[w]; !ok {
 				dist[w] = dist[u] + 1
 				order = append(order, int(w))
@@ -177,14 +216,7 @@ func (t *Tree) Ball(v, r int) []int {
 
 // IsPathGraph reports whether the tree is a simple path (every node has
 // degree at most 2).
-func (t *Tree) IsPathGraph() bool {
-	for v := range t.adj {
-		if len(t.adj[v]) > 2 {
-			return false
-		}
-	}
-	return true
-}
+func (t *Tree) IsPathGraph() bool { return t.maxDeg <= 2 }
 
 // Validate checks the structural tree invariants: connected, acyclic
 // (m == n-1 together with connectivity), no self loops, no duplicate edges.
@@ -205,9 +237,10 @@ func (t *Tree) Validate() error {
 	if seen != n {
 		return fmt.Errorf("%w: BFS reached %d of %d nodes", ErrNotConnected, seen, n)
 	}
-	for v := range t.adj {
-		mark := make(map[int32]bool, len(t.adj[v]))
-		for _, w := range t.adj[v] {
+	for v := 0; v < n; v++ {
+		nbs := t.NeighborsRaw(v)
+		mark := make(map[int32]bool, len(nbs))
+		for _, w := range nbs {
 			if int(w) == v {
 				return fmt.Errorf("%w at node %d", ErrSelfLoop, v)
 			}
@@ -230,7 +263,8 @@ func argmax(xs []int) int {
 	return best
 }
 
-// Builder incrementally constructs a Tree.
+// Builder incrementally constructs a Tree. Adjacency is accumulated as
+// per-node lists and flattened into the immutable CSR layout by Build.
 type Builder struct {
 	adj [][]int32
 	m   int
@@ -296,9 +330,10 @@ func (b *Builder) AttachPath(at, pathLen int) ([]int, error) {
 	return nodes, nil
 }
 
-// Build finalizes and validates the tree.
+// Build finalizes the tree: flattens the adjacency into CSR form and
+// validates the structural invariants.
 func (b *Builder) Build() (*Tree, error) {
-	t := &Tree{adj: b.adj, m: b.m}
+	t := newCSR(b.adj, b.m)
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}

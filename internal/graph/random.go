@@ -1,0 +1,121 @@
+package graph
+
+// Seeded random-tree generators for ensemble experiments. Both generators
+// are pure functions of their parameters and seed (splitmix64 stream, the
+// same mixing discipline as exp.PointSeed and sim.DefaultIDs), so a sampled
+// tree is reproducible from its instance key alone — the property the
+// instance cache and the multi-process executor rely on to re-derive
+// instances worker-side instead of shipping them.
+
+import "fmt"
+
+// splitmix is a splitmix64 pseudo-random stream: tiny state, full-period,
+// and statistically solid for instance sampling.
+type splitmix struct{ s uint64 }
+
+func (r *splitmix) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform value in [0, n). n must be positive. The tiny
+// modulo bias (< 2^-32 for the bounds used here) is irrelevant for instance
+// sampling and keeps the generator branch-free.
+func (r *splitmix) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// gwAttempts bounds the extinction retries of BuildGaltonWatson before it
+// switches to the conditioned offspring law; see the function comment.
+const gwAttempts = 64
+
+// BuildGaltonWatson samples a Galton-Watson tree truncated at exactly n
+// nodes: starting from a root, every node independently draws a uniform
+// number of children in {0, ..., maxChildren} (mean maxChildren/2, so
+// maxChildren >= 3 is supercritical) and the process is grown in BFS order
+// until n nodes exist. Node indices are BFS order from the root; the
+// maximum degree is maxChildren + 1.
+//
+// A branching process can go extinct before reaching n nodes; extinct
+// attempts are discarded and resampled from a re-mixed seed. After
+// gwAttempts extinctions (essentially unreachable for supercritical laws at
+// moderate n) the offspring law is conditioned to {1, ..., maxChildren},
+// which cannot die out, so the function always terminates. The result is a
+// pure function of (n, maxChildren, seed).
+func BuildGaltonWatson(n, maxChildren int, seed uint64) (*Tree, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: galton-watson size %d", ErrBadParam, n)
+	}
+	if maxChildren < 2 {
+		return nil, fmt.Errorf("%w: galton-watson max children %d < 2", ErrBadParam, maxChildren)
+	}
+	for attempt := 0; ; attempt++ {
+		// Re-mix the seed per attempt so retries draw fresh randomness while
+		// the overall result stays a deterministic function of the inputs.
+		r := splitmix{s: seed ^ (uint64(attempt) * 0xd1342543de82ef95)}
+		minKids := 0
+		if attempt >= gwAttempts {
+			minKids = 1 // conditioned-on-survival law: guaranteed to reach n
+		}
+		b := NewBuilder(n)
+		b.AddNode()
+		queue := make([]int, 1, n)
+		queue[0] = 0
+		built := 1
+		for len(queue) > 0 && built < n {
+			v := queue[0]
+			queue = queue[1:]
+			kids := minKids + r.intn(maxChildren-minKids+1)
+			for c := 0; c < kids && built < n; c++ {
+				w := b.AddNode()
+				if err := b.AddEdge(v, w); err != nil {
+					return nil, err
+				}
+				built++
+				queue = append(queue, w)
+			}
+		}
+		if built == n {
+			return b.Build()
+		}
+	}
+}
+
+// BuildLadder samples a ladder-heavy tree with exactly n nodes: a spine
+// path assembled from alternating segments — "ladder" segments, in which
+// every spine node carries one pendant leaf (the caterpillar-like ladder
+// shape that phylogenetic tree-shape statistics count), and bare path
+// segments — with seeded segment lengths in {1, ..., 8}. Maximum degree is
+// 3, making it the bounded-degree counterpart of BuildGaltonWatson's bushy
+// samples. The result is a pure function of (n, seed).
+func BuildLadder(n int, seed uint64) (*Tree, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: ladder size %d", ErrBadParam, n)
+	}
+	r := splitmix{s: seed}
+	b := NewBuilder(n)
+	spine := b.AddNode()
+	built := 1
+	ladder := true
+	for built < n {
+		segLen := 1 + r.intn(8)
+		for s := 0; s < segLen && built < n; s++ {
+			w := b.AddNode()
+			if err := b.AddEdge(spine, w); err != nil {
+				return nil, err
+			}
+			spine = w
+			built++
+			if ladder && built < n {
+				leaf := b.AddNode()
+				if err := b.AddEdge(spine, leaf); err != nil {
+					return nil, err
+				}
+				built++
+			}
+		}
+		ladder = !ladder
+	}
+	return b.Build()
+}

@@ -1,0 +1,133 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestGaltonWatsonDeterminism: the generator is a pure function of
+// (n, maxChildren, seed) — byte-identical edge lists on repeated calls —
+// and distinct seeds actually explore distinct trees.
+func TestGaltonWatsonDeterminism(t *testing.T) {
+	a, err := BuildGaltonWatson(500, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildGaltonWatson(500, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Edges(), b.Edges()) {
+		t.Fatal("same seed produced different trees")
+	}
+	c, err := BuildGaltonWatson(500, 3, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Edges(), c.Edges()) {
+		t.Fatal("distinct seeds produced identical trees")
+	}
+}
+
+// TestLadderDeterminism mirrors TestGaltonWatsonDeterminism for BuildLadder.
+func TestLadderDeterminism(t *testing.T) {
+	a, err := BuildLadder(500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildLadder(500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Edges(), b.Edges()) {
+		t.Fatal("same seed produced different trees")
+	}
+	c, err := BuildLadder(500, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Edges(), c.Edges()) {
+		t.Fatal("distinct seeds produced identical trees")
+	}
+}
+
+// TestRandomTreesAreValid: every sample is a connected tree of exactly the
+// requested size (the Builder invariants re-checked explicitly) and
+// respects its degree bound: maxChildren+1 for Galton-Watson, 3 for ladder
+// trees.
+func TestRandomTreesAreValid(t *testing.T) {
+	for _, n := range []int{1, 2, 17, 256} {
+		for seed := uint64(0); seed < 8; seed++ {
+			for _, c := range []int{2, 3, 5} {
+				tr, err := BuildGaltonWatson(n, c, seed)
+				if err != nil {
+					t.Fatalf("gw(n=%d,c=%d,seed=%d): %v", n, c, seed, err)
+				}
+				if tr.N() != n {
+					t.Fatalf("gw(n=%d,c=%d,seed=%d): got %d nodes", n, c, seed, tr.N())
+				}
+				if err := tr.Validate(); err != nil {
+					t.Fatalf("gw(n=%d,c=%d,seed=%d): %v", n, c, seed, err)
+				}
+				if d := tr.MaxDegree(); d > c+1 {
+					t.Fatalf("gw(n=%d,c=%d,seed=%d): max degree %d > %d", n, c, seed, d, c+1)
+				}
+			}
+			tr, err := BuildLadder(n, seed)
+			if err != nil {
+				t.Fatalf("ladder(n=%d,seed=%d): %v", n, seed, err)
+			}
+			if tr.N() != n {
+				t.Fatalf("ladder(n=%d,seed=%d): got %d nodes", n, seed, tr.N())
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("ladder(n=%d,seed=%d): %v", n, seed, err)
+			}
+			if d := tr.MaxDegree(); d > 3 {
+				t.Fatalf("ladder(n=%d,seed=%d): max degree %d > 3", n, seed, d)
+			}
+		}
+	}
+}
+
+// TestGaltonWatsonShapeSanity: under the uniform {0..3} offspring law
+// roughly a quarter of the nodes draw zero children, so across an ensemble
+// the leaf fraction must sit well away from both the path extreme (~0) and
+// the star extreme (~1). The band is deliberately wide — this guards the
+// offspring law's wiring, not its exact distribution.
+func TestGaltonWatsonShapeSanity(t *testing.T) {
+	const n, c, seeds = 2000, 3, 24
+	leaves, total := 0, 0
+	for seed := uint64(1); seed <= seeds; seed++ {
+		tr, err := BuildGaltonWatson(n, c, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < tr.N(); v++ {
+			if tr.Degree(v) == 1 {
+				leaves++
+			}
+			total++
+		}
+	}
+	frac := float64(leaves) / float64(total)
+	if frac < 0.15 || frac > 0.60 {
+		t.Fatalf("ensemble leaf fraction %.3f outside sanity band [0.15, 0.60]", frac)
+	}
+}
+
+// TestGaltonWatsonConditionedFallback: the documented guarantee is that the
+// generator terminates for every parameter combination, including the
+// critical law maxChildren=2 (mean offspring exactly 1) where extinctions
+// are common; exercise a spread of seeds to cross the retry path.
+func TestGaltonWatsonConditionedFallback(t *testing.T) {
+	for seed := uint64(0); seed < 16; seed++ {
+		tr, err := BuildGaltonWatson(300, 2, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.N() != 300 {
+			t.Fatalf("seed %d: got %d nodes", seed, tr.N())
+		}
+	}
+}

@@ -60,11 +60,13 @@ const (
 	KindHierarchical Kind = "hierarchical"
 	KindWeighted     Kind = "weighted"
 	KindAug          Kind = "weightaug"
+	KindGW           Kind = "galtonwatson"
+	KindLadder       Kind = "ladder"
 )
 
 // Kinds lists every construction family in a stable display order.
 func Kinds() []Kind {
-	return []Kind{KindPath, KindBalanced, KindHierarchical, KindWeighted, KindAug}
+	return []Kind{KindPath, KindBalanced, KindHierarchical, KindWeighted, KindAug, KindGW, KindLadder}
 }
 
 // Key identifies one construction: the kind plus its parameters. Keys are
@@ -84,6 +86,11 @@ type Key struct {
 	Variant uint8
 	K       int
 	Budget  int
+	// Seed identifies one sample of a seeded random family (the
+	// galtonwatson/ladder kinds); zero for deterministic constructions.
+	// Sampled trees are pure functions of (parameters, seed), so the key
+	// still fully determines the instance.
+	Seed uint64
 }
 
 func (k Key) String() string {
@@ -99,6 +106,10 @@ func (k Key) String() string {
 			hierarchy.Variant(k.Variant), k.A, k.B, k.K, k.Lengths, k.Budget)
 	case KindAug:
 		return fmt.Sprintf("weightaug(Δ=%d,k=%d,ℓ=%s,w=%d)", k.A, k.K, k.Lengths, k.Budget)
+	case KindGW:
+		return fmt.Sprintf("galtonwatson(%d,c=%d,seed=%d)", k.A, k.B, k.Seed)
+	case KindLadder:
+		return fmt.Sprintf("ladder(%d,seed=%d)", k.A, k.Seed)
 	}
 	return fmt.Sprintf("%s(%d,%d,%s)", k.Kind, k.A, k.B, k.Lengths)
 }
@@ -154,6 +165,16 @@ func AugKey(k, delta int, lengths []int, budget int) Key {
 		Lengths: encodeLengths(lengths),
 		Budget:  budget,
 	}
+}
+
+// GWKey is the cache key for graph.BuildGaltonWatson(n, maxChildren, seed).
+func GWKey(n, maxChildren int, seed uint64) Key {
+	return Key{Kind: KindGW, A: n, B: maxChildren, Seed: seed}
+}
+
+// LadderKey is the cache key for graph.BuildLadder(n, seed).
+func LadderKey(n int, seed uint64) Key {
+	return Key{Kind: KindLadder, A: n, Seed: seed}
 }
 
 func encodeLengths(lengths []int) string {
@@ -349,6 +370,40 @@ func (c *Cache) Aug(k, delta int, lengths []int, budget int) (*labeling.AugInsta
 		return nil, err
 	}
 	return v.(*labeling.AugInstance), nil
+}
+
+// GaltonWatson returns the cached Galton-Watson sample for
+// (n, maxChildren, seed), building it on first request. The sample is a
+// pure function of its key (see graph.BuildGaltonWatson), so cache sharing
+// never mixes distinct ensemble members.
+func (c *Cache) GaltonWatson(n, maxChildren int, seed uint64) (*graph.Tree, error) {
+	v, err := c.get(GWKey(n, maxChildren, seed), func() (any, int64, error) {
+		t, err := graph.BuildGaltonWatson(n, maxChildren, seed)
+		if err != nil {
+			return nil, 0, err
+		}
+		return t, int64(t.N()), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*graph.Tree), nil
+}
+
+// Ladder returns the cached ladder-tree sample for (n, seed), building it on
+// first request (see graph.BuildLadder).
+func (c *Cache) Ladder(n int, seed uint64) (*graph.Tree, error) {
+	v, err := c.get(LadderKey(n, seed), func() (any, int64, error) {
+		t, err := graph.BuildLadder(n, seed)
+		if err != nil {
+			return nil, 0, err
+		}
+		return t, int64(t.N()), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*graph.Tree), nil
 }
 
 // get serves key from the cache, joining an in-flight build or invoking

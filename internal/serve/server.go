@@ -9,7 +9,9 @@
 // through a disk-backed Store keyed by exp.ResultKey: a stored response is
 // byte-identical to the file cmd/experiments -out writes for the same key,
 // and a warm request performs zero computation and zero instance builds.
-// Identical concurrent cold requests are singleflighted — one computation,
+// Result responses carry a strong ETag (the quoted ResultKey); a request
+// revalidating with If-None-Match is answered 304 before the store is
+// touched. Identical concurrent cold requests are singleflighted — one computation,
 // every waiter gets the same bytes — and the computation's context is
 // canceled only when every waiting request has gone away. POST /v1/batch
 // streams NDJSON results as experiments finish, reusing exp.RunBatch's
@@ -34,6 +36,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -120,6 +123,7 @@ type Server struct {
 
 	catalogReqs  atomic.Uint64
 	resultReqs   atomic.Uint64
+	notModified  atomic.Uint64
 	batchReqs    atomic.Uint64
 	computes     atomic.Uint64
 	flightLeads  atomic.Uint64
@@ -294,6 +298,16 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, errorEnvelope{Error: err.Error(), Label: name})
 		return
 	}
+	// Canonical results are immutable — the ResultKey is a complete validator
+	// — so a matching If-None-Match revalidates without touching the store,
+	// let alone computing.
+	if etag := resultETag(key); inmMatches(r.Header.Get("If-None-Match"), etag) {
+		s.notModified.Add(1)
+		w.Header().Set("ETag", etag)
+		w.Header().Set("X-Expd-Result-Key", key)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	if raw, ok, err := s.cfg.Store.Get(key); err != nil {
 		s.writeError(w, http.StatusInternalServerError, errorEnvelope{Error: err.Error(), Label: name})
 		return
@@ -321,10 +335,32 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// resultETag is the strong entity tag of a canonical result: the quoted
+// ResultKey. The key names (experiment, preset, seed) and results are
+// immutable once computed, so the tag never has to change.
+func resultETag(key string) string { return `"` + key + `"` }
+
+// inmMatches reports whether an If-None-Match header value matches etag:
+// either the wildcard "*" or a list member equal to the tag (weak prefixes
+// accepted — RFC 9110 prescribes weak comparison for If-None-Match).
+func inmMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, part := range strings.Split(header, ",") {
+		tag := strings.TrimSpace(part)
+		if tag == "*" || strings.TrimPrefix(tag, "W/") == etag {
+			return true
+		}
+	}
+	return false
+}
+
 // writeResult emits stored canonical bytes, labeling whether the store was
 // warm ("hit") or the bytes were computed by this request's flight ("miss").
 func (s *Server) writeResult(w http.ResponseWriter, key string, raw []byte, store string) {
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("ETag", resultETag(key))
 	w.Header().Set("X-Expd-Result-Key", key)
 	w.Header().Set("X-Expd-Store", store)
 	w.Write(raw)
@@ -538,7 +574,10 @@ type statszBody struct {
 	Requests struct {
 		Catalog uint64 `json:"catalog"`
 		Result  uint64 `json:"result"`
-		Batch   uint64 `json:"batch"`
+		// NotModified counts result requests revalidated by If-None-Match
+		// (304, no store read, no computation).
+		NotModified uint64 `json:"not_modified"`
+		Batch       uint64 `json:"batch"`
 		// Computes counts admitted computations (cold results and batches);
 		// warm requests never compute.
 		Computes uint64 `json:"computes"`
@@ -569,6 +608,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	body.UptimeMS = float64(time.Since(s.started).Microseconds()) / 1000
 	body.Requests.Catalog = s.catalogReqs.Load()
 	body.Requests.Result = s.resultReqs.Load()
+	body.Requests.NotModified = s.notModified.Load()
 	body.Requests.Batch = s.batchReqs.Load()
 	body.Requests.Computes = s.computes.Load()
 	body.Singleflight.Leaders = s.flightLeads.Load()

@@ -196,6 +196,74 @@ func TestResultByteIdenticalToWriteResults(t *testing.T) {
 	}
 }
 
+// TestResultETagRevalidation: /v1/experiments/{name} responses carry a
+// strong ETag (the quoted ResultKey), and a request presenting it via
+// If-None-Match is answered 304 before the store is read — zero store
+// traffic, zero computation. A stale tag still gets the full body.
+func TestResultETagRevalidation(t *testing.T) {
+	srv, ts := newTestServer(t, nil)
+	url := ts.URL + "/v1/experiments/survivors?preset=quick"
+
+	status, hdr, raw := get(t, url)
+	if status != http.StatusOK {
+		t.Fatalf("cold status = %d: %s", status, raw)
+	}
+	etag := hdr.Get("ETag")
+	if etag == "" || !strings.HasPrefix(etag, `"`) || !strings.HasSuffix(etag, `"`) {
+		t.Fatalf("ETag = %q, want a quoted strong tag", etag)
+	}
+	if want := `"` + hdr.Get("X-Expd-Result-Key") + `"`; etag != want {
+		t.Fatalf("ETag = %q, want quoted result key %q", etag, want)
+	}
+
+	hitsBefore := srv.cfg.Store.Stats().Hits
+	computesBefore := srv.computes.Load()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("If-None-Match", etag)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("revalidation status = %d, want 304 (%s)", resp.StatusCode, body)
+	}
+	if len(body) != 0 {
+		t.Fatalf("304 carried a %d-byte body", len(body))
+	}
+	if got := resp.Header.Get("ETag"); got != etag {
+		t.Fatalf("304 ETag = %q, want %q", got, etag)
+	}
+	if d := srv.cfg.Store.Stats().Hits - hitsBefore; d != 0 {
+		t.Fatalf("revalidation read the store %d times, want 0", d)
+	}
+	if d := srv.computes.Load() - computesBefore; d != 0 {
+		t.Fatalf("revalidation ran %d computations, want 0", d)
+	}
+	if srv.notModified.Load() != 1 {
+		t.Fatalf("notModified counter = %d, want 1", srv.notModified.Load())
+	}
+
+	// A stale (non-matching) validator falls through to the full response.
+	req.Header.Set("If-None-Match", `"stale-tag"`)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stale-tag status = %d, want 200", resp.StatusCode)
+	}
+	if !bytes.Equal(body, raw) {
+		t.Fatal("stale-tag response differs from the original bytes")
+	}
+}
+
 // TestWarmRequestBuildsNothing mirrors TestWarmCacheRepeatBuildsNothing at
 // the service layer: a repeated request is absorbed by the result store —
 // zero computations and zero instance builds.

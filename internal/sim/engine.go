@@ -129,18 +129,20 @@ func (e *Engine) Run(t *graph.Tree, alg Algorithm) (*Result, error) {
 		workers = n
 	}
 
+	slots := 2 * t.M()
 	r := &run{
-		t:         t,
 		alg:       alg,
 		ctx:       e.ctx,
 		maxRounds: maxRounds,
 		workers:   workers,
+		off:       t.Offsets(),
+		nbrs:      t.AdjacencyRaw(),
+		rev:       reverseSlots(t),
 		machines:  make([]Machine, n),
 		done:      make([]bool, n),
 		frozen:    make([]any, n),
-		inbox:     make([][]any, n),
-		next:      make([][]any, n),
-		portOf:    reversePorts(t),
+		inbox:     make([]any, slots),
+		next:      make([]any, slots),
 		res: &Result{
 			Rounds:  make([]int, n),
 			Outputs: make([]any, n),
@@ -160,8 +162,6 @@ func (e *Engine) Run(t *graph.Tree, alg Algorithm) (*Result, error) {
 			N:      n,
 			Input:  input,
 		})
-		r.inbox[v] = make([]any, t.Degree(v))
-		r.next[v] = make([]any, t.Degree(v))
 	}
 	return r.execute()
 }
@@ -173,13 +173,21 @@ type rangeStats struct {
 	err  error
 }
 
-// run is the mutable state of one execution.
+// run is the mutable state of one execution, kept in struct-of-arrays form:
+// per-node facts (machines, done, frozen) are flat arrays indexed by node,
+// and all message state lives in two flat arrays indexed by directed-edge
+// slot — port p of node v is slot off[v]+p, so the receive window of v is
+// the contiguous range inbox[off[v]:off[v+1]] and a round is a linear sweep
+// over contiguous memory.
 type run struct {
-	t         *graph.Tree
 	alg       Algorithm
 	ctx       context.Context
 	maxRounds int
 	workers   int
+
+	off  []int32 // CSR offsets (shared with the tree; read-only)
+	nbrs []int32 // CSR neighbors: nbrs[off[v]+p] is the p-th neighbor of v
+	rev  []int32 // rev[e] = flat slot of the reverse directed edge
 
 	machines []Machine
 	done     []bool
@@ -187,9 +195,8 @@ type run struct {
 	// once when v terminates, so redelivering it every subsequent round is
 	// allocation-free.
 	frozen []any
-	inbox  [][]any
-	next   [][]any
-	portOf [][]int
+	inbox  []any // flat receive slots, len 2*M
+	next   []any // flat send slots for the following round, len 2*M
 	res    *Result
 	stats  []rangeStats // per-worker, parallel backend only
 }
@@ -265,29 +272,34 @@ func (r *run) forEach(round int, fn func(round, lo, hi int) rangeStats) rangeSta
 	return total
 }
 
-// stepRange runs one round for the undecided nodes in [lo, hi). It consumes
-// each node's inbox in place (clear-and-swap: the cleared buffer becomes the
-// node's receive buffer after the swap), so no separate clearing pass over
-// all ports is needed and steady-state rounds allocate nothing.
+// stepRange runs one round for the undecided nodes in [lo, hi). Each node's
+// receive window is a subslice of the flat inbox, consumed in place
+// (clear-and-swap: the cleared window becomes the node's receive window
+// after the swap), so no separate clearing pass over all ports is needed
+// and steady-state rounds allocate nothing. In the parallel backend the
+// node ranges are disjoint, so the slot ranges [off[lo], off[hi]) are
+// disjoint too, and every next[rev[e]] write has a single writer (the owner
+// of edge slot e).
 func (r *run) stepRange(round, lo, hi int) rangeStats {
 	var st rangeStats
 	for v := lo; v < hi; v++ {
 		if r.done[v] {
 			continue
 		}
-		send, fin := r.machines[v].Step(round, r.inbox[v])
-		deg := r.t.Degree(v)
+		base, end := r.off[v], r.off[v+1]
+		recv := r.inbox[base:end:end]
+		send, fin := r.machines[v].Step(round, recv)
+		deg := int(end - base)
 		for p := 0; p < len(send) && p < deg; p++ {
 			if send[p] == nil {
 				continue
 			}
-			u := r.t.Neighbor(v, p)
-			r.next[u][r.portOf[v][p]] = send[p]
+			r.next[r.rev[int(base)+p]] = send[p]
 			st.msgs++
 		}
 		// Clear only after the sends are copied out: a machine may return its
 		// recv slice as send.
-		clearAny(r.inbox[v])
+		clearAny(recv)
 		if fin {
 			r.done[v] = true
 			st.fins++
@@ -302,9 +314,8 @@ func (r *run) stepRange(round, lo, hi int) rangeStats {
 			r.frozen[v] = Terminated{Output: out}
 			// From the next round on, neighbors observe the frozen output. A
 			// final message sent in the terminating round takes precedence.
-			for p := 0; p < deg; p++ {
-				u := r.t.Neighbor(v, p)
-				if slot := &r.next[u][r.portOf[v][p]]; *slot == nil {
+			for e := base; e < end; e++ {
+				if slot := &r.next[r.rev[e]]; *slot == nil {
 					*slot = r.frozen[v]
 				}
 			}
@@ -322,12 +333,11 @@ func (r *run) redeliverRange(_, lo, hi int) rangeStats {
 			continue
 		}
 		fz := r.frozen[v]
-		for p := 0; p < r.t.Degree(v); p++ {
-			u := r.t.Neighbor(v, p)
-			if r.done[u] {
+		for e := r.off[v]; e < r.off[v+1]; e++ {
+			if r.done[r.nbrs[e]] {
 				continue
 			}
-			if slot := &r.next[u][r.portOf[v][p]]; *slot == nil {
+			if slot := &r.next[r.rev[e]]; *slot == nil {
 				*slot = fz
 			}
 		}

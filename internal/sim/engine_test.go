@@ -222,31 +222,49 @@ func TestEngineSteadyStateAllocs(t *testing.T) {
 	}
 }
 
-// BenchmarkEngine measures engine overhead per node-round and guards the
-// allocation fix: run with -benchmem; steady-state allocs/op must stay flat
-// in the round count (see TestEngineSteadyStateAllocs for the hard
-// assertion).
+// BenchmarkEngine measures engine overhead per node-round on a path (the
+// degree-2 cache-friendly extreme) and a hierarchical lower-bound instance
+// (the branchy shape the sweeps actually run on), and guards the allocation
+// fix: run with -benchmem; steady-state allocs/op must stay flat in the
+// round count (see TestEngineSteadyStateAllocs for the hard assertion).
+// BENCH_engine.json records the committed before/after numbers of the flat
+// CSR + struct-of-arrays refactor.
 func BenchmarkEngine(b *testing.B) {
-	const n, rounds = 4096, 32
-	tr, err := graph.BuildPath(n)
-	if err != nil {
-		b.Fatal(err)
-	}
-	ids := DefaultIDs(n, 1)
-	for _, bc := range []struct {
-		name string
-		par  int
-	}{{"sequential", 1}, {"parallel", -1}} {
-		b.Run(bc.name, func(b *testing.B) {
-			eng := NewEngine(WithIDs(ids), WithParallelism(bc.par))
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := eng.Run(tr, tickAlg{rounds: rounds}); err != nil {
-					b.Fatal(err)
-				}
+	const rounds = 32
+	for _, in := range []struct {
+		name  string
+		build func() (*graph.Tree, error)
+	}{
+		{"path4096", func() (*graph.Tree, error) { return graph.BuildPath(4096) }},
+		{"hier60x90", func() (*graph.Tree, error) {
+			h, err := graph.BuildHierarchical([]int{60, 90})
+			if err != nil {
+				return nil, err
 			}
-			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n*rounds), "ns/node-round")
-		})
+			return h.Tree, nil
+		}},
+	} {
+		tr, err := in.build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := tr.N()
+		ids := DefaultIDs(n, 1)
+		for _, bc := range []struct {
+			name string
+			par  int
+		}{{"sequential", 1}, {"parallel", -1}} {
+			b.Run(in.name+"/"+bc.name, func(b *testing.B) {
+				eng := NewEngine(WithIDs(ids), WithParallelism(bc.par))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.Run(tr, tickAlg{rounds: rounds}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n*rounds), "ns/node-round")
+			})
+		}
 	}
 }

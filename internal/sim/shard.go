@@ -5,19 +5,23 @@ package sim
 // messages crossing shard boundaries through a shardBus at the round
 // barrier.
 //
-// Each shard owns the machines, inboxes, and send buffers of its node range
-// and steps them exactly like the sequential backend. A message from a local
-// node to a local neighbor is written directly into the neighbor's receive
-// slot; a message to a node of another shard is queued as a boundaryMsg and
-// delivered by the bus between the step and redeliver phases. Frozen outputs
-// of terminated boundary nodes cross the bus exactly once (as a fill
-// message); the receiving shard mirrors them and redelivers locally in every
-// later round, so steady-state frozen redelivery costs no bus traffic — the
-// same zero-cost convention the sequential backend implements with its
-// cached Terminated values.
+// Each shard owns the machines and message slots of its node range and
+// steps them exactly like the sequential backend. Because the tree is in
+// CSR form, a contiguous node range [lo, hi) owns the contiguous
+// directed-edge slot range [off[lo], off[hi)) — a shard's entire message
+// state is two flat arrays covering that interval, and snapshotting or
+// shipping a shard is a pair of slice copies. A message from a local node
+// to a local neighbor is written directly into the neighbor's receive slot;
+// a message to a node of another shard is queued as a boundaryMsg
+// (addressed by global flat slot) and delivered by the bus between the step
+// and redeliver phases. Frozen outputs of terminated boundary nodes cross
+// the bus exactly once (as a fill message); the receiving shard mirrors
+// them and redelivers locally in every later round, so steady-state frozen
+// redelivery costs no bus traffic — the same zero-cost convention the
+// sequential backend implements with its cached Terminated values.
 //
-// Determinism: every receive slot inbox[u][q] has exactly one writer (the
-// neighbor v behind port q, or the bus acting for it), so delivery order
+// Determinism: every receive slot has exactly one writer (the neighbor
+// behind the reverse edge, or the bus acting for it), so delivery order
 // never affects what a machine observes, and Rounds, Outputs, TotalRounds,
 // and Messages are bit-identical to the sequential backend at every shard
 // count. The bus is the single seam through which a shard learns anything
@@ -50,24 +54,25 @@ type ShardStats struct {
 }
 
 // boundaryMsg is one unit of cross-shard traffic: a payload for the receive
-// slot (dst, port). A fill message carries a terminated node's frozen output;
-// it only lands in an empty slot (a real message sent in the terminating
-// round takes precedence) and is mirrored by the receiving shard for local
-// redelivery in all later rounds.
+// slot `slot` (a global flat directed-edge index; the owning shard is
+// implied by the destination node dst). A fill message carries a terminated
+// node's frozen output; it only lands in an empty slot (a real message sent
+// in the terminating round takes precedence) and is mirrored by the
+// receiving shard for local redelivery in all later rounds.
 type boundaryMsg struct {
 	dst     int
-	port    int32
+	slot    int32
 	fill    bool
 	payload any
 }
 
 // mirrorEdge records a remote neighbor's frozen output and the local receive
-// slot it keeps filling: once a fill message for (node, port) arrives, the
+// slot it keeps filling: once a fill message for (node, slot) arrives, the
 // owning shard redelivers val into that slot in every later round, with no
-// further bus traffic.
+// further bus traffic. slot is shard-local (global slot minus slotBase).
 type mirrorEdge struct {
 	node int
-	port int32
+	slot int32
 	val  any
 }
 
@@ -88,18 +93,21 @@ type shardCmd struct {
 }
 
 // shard is one contiguous node range [lo, hi) with private execution state.
-// All slices are indexed by local offset v - lo.
+// Node-indexed slices (machines, done, frozen) use local offset v - lo;
+// message slots use local slot e - slotBase, where [slotBase, slotEnd) =
+// [off[lo], off[hi)) is the shard's contiguous global slot interval.
 type shard struct {
 	r         *shardRun
 	idx       int
 	lo, hi    int
+	slotBase  int32 // global flat slot of local slot 0 (= off[lo])
 	remaining int
 
 	machines []Machine
 	done     []bool
 	frozen   []any
-	inbox    [][]any
-	next     [][]any
+	inbox    []any // flat receive slots, len off[hi]-off[lo]
+	next     []any // flat send slots for the following round
 
 	// outbox[t] queues this round's boundary messages for shard t; the bus
 	// drains it at the barrier and the backing arrays are reused.
@@ -137,7 +145,8 @@ func (b *shardBus) exchange() {
 			q := src.outbox[dst.idx]
 			for i := range q {
 				m := &q[i]
-				slot := &dst.next[m.dst-dst.lo][m.port]
+				ls := m.slot - dst.slotBase
+				slot := &dst.next[ls]
 				if !m.fill {
 					*slot = m.payload
 					continue
@@ -145,7 +154,7 @@ func (b *shardBus) exchange() {
 				if *slot == nil {
 					*slot = m.payload
 				}
-				dst.mirror = append(dst.mirror, mirrorEdge{node: m.dst, port: m.port, val: m.payload})
+				dst.mirror = append(dst.mirror, mirrorEdge{node: m.dst, slot: ls, val: m.payload})
 			}
 			src.outbox[dst.idx] = q[:0]
 		}
@@ -160,7 +169,9 @@ type shardRun struct {
 	chunk     int // shardOf(v) = v / chunk
 	shards    []*shard
 	bus       *shardBus
-	portOf    [][]int
+	off       []int32 // CSR offsets (shared with the tree; read-only)
+	nbrs      []int32 // CSR neighbors
+	rev       []int32 // rev[e] = global flat slot of the reverse edge
 	res       *Result
 }
 
@@ -174,7 +185,9 @@ func (e *Engine) runSharded(t *graph.Tree, alg Algorithm, ids []uint64, maxRound
 		alg:       alg,
 		maxRounds: maxRounds,
 		chunk:     chunk,
-		portOf:    reversePorts(t),
+		off:       t.Offsets(),
+		nbrs:      t.AdjacencyRaw(),
+		rev:       reverseSlots(t),
 		res: &Result{
 			Rounds:  make([]int, n),
 			Outputs: make([]any, n),
@@ -186,17 +199,19 @@ func (e *Engine) runSharded(t *graph.Tree, alg Algorithm, ids []uint64, maxRound
 			hi = n
 		}
 		size := hi - lo
+		slots := int(r.off[hi] - r.off[lo])
 		sh := &shard{
 			r:         r,
 			idx:       len(r.shards),
 			lo:        lo,
 			hi:        hi,
+			slotBase:  r.off[lo],
 			remaining: size,
 			machines:  make([]Machine, size),
 			done:      make([]bool, size),
 			frozen:    make([]any, size),
-			inbox:     make([][]any, size),
-			next:      make([][]any, size),
+			inbox:     make([]any, slots),
+			next:      make([]any, slots),
 			cmd:       make(chan shardCmd),
 			ack:       make(chan struct{}),
 		}
@@ -217,8 +232,6 @@ func (e *Engine) runSharded(t *graph.Tree, alg Algorithm, ids []uint64, maxRound
 				N:      n,
 				Input:  input,
 			})
-			sh.inbox[i] = make([]any, t.Degree(v))
-			sh.next[i] = make([]any, t.Degree(v))
 			for _, w := range t.NeighborsRaw(v) {
 				if int(w)/chunk != sh.idx {
 					sh.stats.BoundaryEdges++
@@ -316,32 +329,34 @@ func (sh *shard) step(round int) {
 	}
 	sh.stats.ActiveRounds++
 	r := sh.r
+	off, nbrs, rev := r.off, r.nbrs, r.rev
 	for v := sh.lo; v < sh.hi; v++ {
 		i := v - sh.lo
 		if sh.done[i] {
 			continue
 		}
-		send, fin := sh.machines[i].Step(round, sh.inbox[i])
-		deg := r.t.Degree(v)
+		base, end := off[v], off[v+1]
+		recv := sh.inbox[base-sh.slotBase : end-sh.slotBase : end-sh.slotBase]
+		send, fin := sh.machines[i].Step(round, recv)
+		deg := int(end - base)
 		for p := 0; p < len(send) && p < deg; p++ {
 			if send[p] == nil {
 				continue
 			}
-			u := r.t.Neighbor(v, p)
-			q := r.portOf[v][p]
+			e := int(base) + p
 			sh.msgs++
-			if t := u / r.chunk; t != sh.idx {
+			if t := int(nbrs[e]) / r.chunk; t != sh.idx {
 				sh.outbox[t] = append(sh.outbox[t],
-					boundaryMsg{dst: u, port: int32(q), payload: send[p]})
+					boundaryMsg{dst: int(nbrs[e]), slot: rev[e], payload: send[p]})
 				sh.stats.MessagesCrossed++
 			} else {
-				sh.next[u-sh.lo][q] = send[p]
+				sh.next[rev[e]-sh.slotBase] = send[p]
 			}
 		}
 		// Clear only after the sends are copied out: a machine may return its
 		// recv slice as send (the boundary queue holds interface copies, so
 		// queued payloads survive the clear).
-		clearAny(sh.inbox[i])
+		clearAny(recv)
 		if fin {
 			sh.done[i] = true
 			sh.remaining--
@@ -360,13 +375,11 @@ func (sh *shard) step(round int) {
 			// Cross-shard ports ship the frozen value once as a fill message,
 			// after any real send queued above, so the bus preserves the
 			// precedence rule.
-			for p := 0; p < deg; p++ {
-				u := r.t.Neighbor(v, p)
-				q := r.portOf[v][p]
-				if t := u / r.chunk; t != sh.idx {
+			for e := base; e < end; e++ {
+				if t := int(nbrs[e]) / r.chunk; t != sh.idx {
 					sh.outbox[t] = append(sh.outbox[t],
-						boundaryMsg{dst: u, port: int32(q), fill: true, payload: sh.frozen[i]})
-				} else if slot := &sh.next[u-sh.lo][q]; *slot == nil {
+						boundaryMsg{dst: int(nbrs[e]), slot: rev[e], fill: true, payload: sh.frozen[i]})
+				} else if slot := &sh.next[rev[e]-sh.slotBase]; *slot == nil {
 					*slot = sh.frozen[i]
 				}
 			}
@@ -379,32 +392,31 @@ func (sh *shard) step(round int) {
 // the mirror populated by fill messages — both at zero message cost.
 func (sh *shard) redeliver() {
 	r := sh.r
+	off, nbrs, rev := r.off, r.nbrs, r.rev
 	for i, d := range sh.done {
 		if !d {
 			continue
 		}
 		v := sh.lo + i
 		fz := sh.frozen[i]
-		for p := 0; p < r.t.Degree(v); p++ {
-			u := r.t.Neighbor(v, p)
+		for e := off[v]; e < off[v+1]; e++ {
+			u := int(nbrs[e])
 			if u/r.chunk != sh.idx {
 				continue // the owning shard redelivers from its mirror
 			}
-			j := u - sh.lo
-			if sh.done[j] {
+			if sh.done[u-sh.lo] {
 				continue
 			}
-			if slot := &sh.next[j][r.portOf[v][p]]; *slot == nil {
+			if slot := &sh.next[rev[e]-sh.slotBase]; *slot == nil {
 				*slot = fz
 			}
 		}
 	}
 	for _, m := range sh.mirror {
-		j := m.node - sh.lo
-		if sh.done[j] {
+		if sh.done[m.node-sh.lo] {
 			continue
 		}
-		if slot := &sh.next[j][m.port]; *slot == nil {
+		if slot := &sh.next[m.slot]; *slot == nil {
 			*slot = m.val
 		}
 	}

@@ -35,6 +35,12 @@
 // per-shard statistics in Result.Shards. Determinism rests on a single
 // invariant: within a round, the receive slot of a directed edge has
 // exactly one writer.
+//
+// All backends keep execution state in struct-of-arrays form: termination
+// flags, frozen outputs, and message buffers are flat arrays indexed by
+// node or by directed-edge slot through the tree's CSR offsets
+// (graph.Tree.Offsets), so stepping a round is a linear sweep over
+// contiguous memory rather than a pointer chase through per-node objects.
 package sim
 
 import (
@@ -158,27 +164,28 @@ func clearAny(xs []any) {
 	}
 }
 
-// reversePorts computes, for each directed edge (v, port p), the port on the
-// other endpoint that leads back to v.
-func reversePorts(t *graph.Tree) [][]int {
+// reverseSlots computes, for each directed-edge slot e = off[v]+p (port p of
+// node v in the tree's CSR layout), the flat slot of the reverse directed
+// edge — off[u]+q where q is the port of u leading back to v. Message state
+// indexed by flat slot then needs no per-node indirection: node v sends on
+// port p by writing next[rev[off[v]+p]].
+func reverseSlots(t *graph.Tree) []int32 {
+	off, nbrs := t.Offsets(), t.AdjacencyRaw()
+	rev := make([]int32, len(nbrs))
 	n := t.N()
-	out := make([][]int, n)
 	for v := 0; v < n; v++ {
-		out[v] = make([]int, t.Degree(v))
-	}
-	// Degrees are bounded, so the inner scan is O(Δ).
-	for v := 0; v < n; v++ {
-		for p, w := range t.NeighborsRaw(v) {
-			u := int(w)
-			for q, x := range t.NeighborsRaw(u) {
-				if int(x) == v {
-					out[v][p] = q
+		for e := off[v]; e < off[v+1]; e++ {
+			u := nbrs[e]
+			// Degrees are bounded, so the inner scan is O(Δ).
+			for f := off[u]; f < off[u+1]; f++ {
+				if int(nbrs[f]) == v {
+					rev[e] = f
 					break
 				}
 			}
 		}
 	}
-	return out
+	return rev
 }
 
 // DefaultIDs produces n distinct pseudo-random 63-bit identifiers from a
