@@ -167,8 +167,8 @@ func run(alg string, n, k, delta, d, scale int, seed uint64, parallel, shards in
 }
 
 // reportShards prints the per-shard statistics of a sharded run (nodes,
-// boundary edges, crossing traffic, active rounds); no-op for unsharded
-// runs.
+// boundary edges, crossing traffic, active rounds, machine steps); no-op
+// for unsharded runs.
 func reportShards(res *sim.Result) {
 	if res.Shards == nil {
 		return
@@ -177,10 +177,11 @@ func reportShards(res *sim.Result) {
 	for _, s := range res.Shards {
 		crossed += s.MessagesCrossed
 	}
-	fmt.Printf("sharded run: %d shards, %d boundary messages crossed\n", len(res.Shards), crossed)
+	fmt.Printf("sharded run: %d shards, %d boundary messages crossed, %d machine steps\n",
+		len(res.Shards), crossed, res.Steps)
 	for _, s := range res.Shards {
-		fmt.Printf("  shard %d: %d nodes, %d boundary edges, %d crossed, %d active rounds\n",
-			s.Shard, s.Nodes, s.BoundaryEdges, s.MessagesCrossed, s.ActiveRounds)
+		fmt.Printf("  shard %d: %d nodes, %d boundary edges, %d crossed, %d active rounds, %d steps\n",
+			s.Shard, s.Nodes, s.BoundaryEdges, s.MessagesCrossed, s.ActiveRounds, s.Steps)
 	}
 }
 

@@ -50,6 +50,9 @@ type SweepResult struct {
 	// (Theorems 4-5); equal to TheorySlope otherwise.
 	TheoryUpper float64
 	Points      []measure.Point
+	// Steps is the total simulator machine-step work across the sweep's
+	// points; 0 for analytic sweeps that never enter the simulator.
+	Steps int64
 }
 
 // finish annotates the table with fit-vs-theory.
@@ -86,10 +89,13 @@ func sweepStep(ctx context.Context) error {
 }
 
 // sweepPoint is one completed sweep value: the point entering the log-log
-// fit plus its table row cells.
+// fit plus its table row cells. steps carries the simulator machine-step
+// work of the point (0 for analytic points); it feeds Result.Steps only —
+// never a table cell — so canonical outputs are unaffected.
 type sweepPoint struct {
-	pt  measure.Point
-	row []any
+	pt    measure.Point
+	row   []any
+	steps int64
 }
 
 // sweepSpec is the decomposed form of a scaling sweep: the analytic
@@ -121,6 +127,7 @@ func (s *sweepSpec) assemble(points []sweepPoint) *SweepResult {
 	for _, p := range points {
 		res.Points = append(res.Points, p.pt)
 		res.Table.AddRow(p.row...)
+		res.Steps += p.steps
 	}
 	res.finish(s.title, s.xName)
 	return res
@@ -458,8 +465,9 @@ func twoColoringGapSpec() *sweepSpec {
 			}
 			avg := r.NodeAveraged()
 			return sweepPoint{
-				pt:  measure.Point{X: float64(n), Y: avg},
-				row: []any{n, avg, avg / float64(n), ""},
+				pt:    measure.Point{X: float64(n), Y: avg},
+				row:   []any{n, avg, avg / float64(n), ""},
+				steps: r.Steps,
 			}, nil
 		},
 	}

@@ -48,14 +48,17 @@ type ensembleSpec struct {
 }
 
 // assemble combines completed samples — in canonical sample order — into the
-// per-sample table and the cross-ensemble statistics table. Both the serial
-// path and the task planner funnel through here.
-func (s *ensembleSpec) assemble(points []sweepPoint) ([]measure.Table, error) {
+// per-sample table and the cross-ensemble statistics table, plus the total
+// simulator machine-step work across the samples. Both the serial path and
+// the task planner funnel through here.
+func (s *ensembleSpec) assemble(points []sweepPoint) ([]measure.Table, int64, error) {
 	samples := measure.Table{Title: s.title, Header: s.header}
 	var sumTotal, maxTotal, sumAvg float64
+	var steps int64
 	dist := map[int64]int64{}
 	for i, p := range points {
 		samples.AddRow(p.row...)
+		steps += p.steps
 		sumTotal += p.pt.X
 		if p.pt.X > maxTotal {
 			maxTotal = p.pt.X
@@ -66,10 +69,10 @@ func (s *ensembleSpec) assemble(points []sweepPoint) ([]measure.Table, error) {
 		// verbatim wire copy (cross-process).
 		cell, ok := p.row[len(p.row)-1].(string)
 		if !ok {
-			return nil, fmt.Errorf("sample %d: distribution cell is %T, not string", i, p.row[len(p.row)-1])
+			return nil, 0, fmt.Errorf("sample %d: distribution cell is %T, not string", i, p.row[len(p.row)-1])
 		}
 		if err := addColorDist(dist, cell); err != nil {
-			return nil, fmt.Errorf("sample %d: %w", i, err)
+			return nil, 0, fmt.Errorf("sample %d: %w", i, err)
 		}
 	}
 	n := float64(len(points))
@@ -84,20 +87,20 @@ func (s *ensembleSpec) assemble(points []sweepPoint) ([]measure.Table, error) {
 		stats.AddRow("mean node-avg rounds", sumAvg/n, "", "")
 		stats.AddRow("output distribution", formatColorDist(dist), "", "")
 	}
-	return []measure.Table{samples, stats}, nil
+	return []measure.Table{samples, stats}, steps, nil
 }
 
 // runSerial executes the ensemble's samples in order on the calling
 // goroutine (the Experiment.Run path).
-func (s *ensembleSpec) runSerial(ctx context.Context, idxs []int, seed uint64, eng engineConfig) ([]measure.Table, error) {
+func (s *ensembleSpec) runSerial(ctx context.Context, idxs []int, seed uint64, eng engineConfig) ([]measure.Table, int64, error) {
 	points := make([]sweepPoint, 0, len(idxs))
 	for _, idx := range idxs {
 		if err := sweepStep(ctx); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		p, err := s.sample(ctx, idx, PointSeed(seed, idx), eng)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		points = append(points, p)
 	}
@@ -181,8 +184,9 @@ func runLinialSample(ctx context.Context, idx int, seed uint64, eng engineConfig
 	}
 	avg := r.NodeAveraged()
 	return sweepPoint{
-		pt:  measure.Point{X: float64(r.TotalRounds), Y: avg},
-		row: []any{idx, delta, r.TotalRounds, avg, formatColorDist(counts)},
+		pt:    measure.Point{X: float64(r.TotalRounds), Y: avg},
+		row:   []any{idx, delta, r.TotalRounds, avg, formatColorDist(counts)},
+		steps: r.Steps,
 	}, nil
 }
 
@@ -239,9 +243,10 @@ func ensembleExperiment(name, description, theory string, presets map[string][]i
 		Presets:     presets,
 		DefaultSeed: seed,
 	}
-	finish := func(cfg RunConfig, preset string, idxs []int, started time.Time, tables []measure.Table) *Result {
+	finish := func(cfg RunConfig, preset string, idxs []int, started time.Time, tables []measure.Table, steps int64) *Result {
 		res := e.newResult(cfg, preset, idxs, started)
 		res.Tables = tables
+		res.Steps = steps
 		return res
 	}
 	e.Run = func(ctx context.Context, cfg RunConfig) (*Result, error) {
@@ -254,11 +259,11 @@ func ensembleExperiment(name, description, theory string, presets map[string][]i
 		}
 		s := spec()
 		started := time.Now()
-		tables, err := s.runSerial(ctx, idxs, e.seedFor(cfg), engCfg(cfg))
+		tables, steps, err := s.runSerial(ctx, idxs, e.seedFor(cfg), engCfg(cfg))
 		if err != nil {
 			return nil, fmt.Errorf("exp: %s: %w", e.Name, err)
 		}
-		return finish(cfg, preset, idxs, started, tables), nil
+		return finish(cfg, preset, idxs, started, tables, steps), nil
 	}
 	e.Plan = func(cfg RunConfig) (*TaskPlan, error) {
 		idxs, preset, err := e.sizesFor(cfg)
@@ -306,11 +311,11 @@ func ensembleExperiment(name, description, theory string, presets map[string][]i
 					}
 					points[i] = p
 				}
-				tables, err := s.assemble(points)
+				tables, steps, err := s.assemble(points)
 				if err != nil {
 					return nil, fmt.Errorf("exp: %s: %w", e.Name, err)
 				}
-				return finish(cfg, preset, idxs, started, tables), nil
+				return finish(cfg, preset, idxs, started, tables, steps), nil
 			},
 			Encode:  encodeSweepPoint,
 			Decode:  decodeSweepPoint,

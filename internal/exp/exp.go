@@ -100,17 +100,22 @@ const SchemaVersion = 2
 
 // Result is the JSON-native outcome of one experiment run.
 type Result struct {
-	Schema      int             `json:"schema,omitempty"`
-	Name        string          `json:"name"`
-	Theory      string          `json:"theory,omitempty"`
-	Preset      string          `json:"preset,omitempty"`
-	Sizes       []int           `json:"sizes,omitempty"`
-	Seed        uint64          `json:"seed,omitempty"`
-	Parallelism int             `json:"parallelism,omitempty"`
-	Shards      int             `json:"shards,omitempty"`
-	ElapsedMS   float64         `json:"elapsed_ms"`
-	Tables      []measure.Table `json:"tables"`
-	Fit         *Fit            `json:"fit,omitempty"`
+	Schema      int    `json:"schema,omitempty"`
+	Name        string `json:"name"`
+	Theory      string `json:"theory,omitempty"`
+	Preset      string `json:"preset,omitempty"`
+	Sizes       []int  `json:"sizes,omitempty"`
+	Seed        uint64 `json:"seed,omitempty"`
+	Parallelism int    `json:"parallelism,omitempty"`
+	Shards      int    `json:"shards,omitempty"`
+	// Steps is the total simulator machine-step work (sim.Result.Steps summed
+	// over the run's simulated points); 0 for purely analytic experiments.
+	// Like elapsed_ms it describes execution work, not computed results, and
+	// the canonical (persisted) form strips it.
+	Steps     int64           `json:"steps,omitempty"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+	Tables    []measure.Table `json:"tables"`
+	Fit       *Fit            `json:"fit,omitempty"`
 }
 
 // Fit is the fitted-versus-theory exponent comparison of a scaling sweep.
@@ -168,6 +173,7 @@ func (e *Experiment) newResult(cfg RunConfig, preset string, sizes []int, starte
 // sweepResultOf stamps a finished SweepResult into the JSON-native Result.
 func (e *Experiment) sweepResultOf(cfg RunConfig, preset string, sizes []int, started time.Time, sr *SweepResult) *Result {
 	res := e.newResult(cfg, preset, sizes, started)
+	res.Steps = sr.Steps
 	res.Tables = []measure.Table{sr.Table}
 	res.Fit = &Fit{
 		Slope:       sr.Slope,

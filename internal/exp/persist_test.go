@@ -53,6 +53,25 @@ func TestWriteLoadRoundTripDir(t *testing.T) {
 	}
 }
 
+// TestStepsReportedLiveStrippedCanonical: a simulator-backed experiment
+// reports its machine-step work on the live result, and Canonical strips it
+// (like elapsed_ms) so persisted bytes stay independent of the work counter.
+func TestStepsReportedLiveStrippedCanonical(t *testing.T) {
+	results := sampleResults(t)
+	var sawSteps bool
+	for _, res := range results {
+		if res.Name == "twocoloring-gap" && res.Steps > 0 {
+			sawSteps = true
+		}
+		if Canonical(res).Steps != 0 {
+			t.Fatalf("%s: canonical form kept steps = %d", res.Name, Canonical(res).Steps)
+		}
+	}
+	if !sawSteps {
+		t.Fatal("simulator-backed twocoloring-gap reported no machine-step work")
+	}
+}
+
 // TestWriteLoadRoundTripAggregateFile: a path ending in .json holds the
 // whole canonical batch as one array.
 func TestWriteLoadRoundTripAggregateFile(t *testing.T) {

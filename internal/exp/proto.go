@@ -229,6 +229,10 @@ type wirePoint struct {
 	X   float64  `json:"x"`
 	Y   float64  `json:"y"`
 	Row []string `json:"row"`
+	// Steps is the point's simulator machine-step work; it feeds the
+	// result's steps counter (stripped from canonical output), never a
+	// table cell, so it cannot perturb canonical bytes.
+	Steps int64 `json:"steps,omitempty"`
 }
 
 // encodeSweepPoint converts a sweep task's in-process output to its wire
@@ -238,7 +242,7 @@ func encodeSweepPoint(out any) (json.RawMessage, error) {
 	if !ok {
 		return nil, fmt.Errorf("exp: sweep task output is %T, not a sweep point", out)
 	}
-	w := wirePoint{X: p.pt.X, Y: p.pt.Y, Row: make([]string, len(p.row))}
+	w := wirePoint{X: p.pt.X, Y: p.pt.Y, Row: make([]string, len(p.row)), Steps: p.steps}
 	for i, c := range p.row {
 		w.Row[i] = measure.FormatCell(c)
 	}
@@ -253,7 +257,7 @@ func decodeSweepPoint(raw json.RawMessage) (any, error) {
 	if err := json.Unmarshal(raw, &w); err != nil {
 		return nil, fmt.Errorf("exp: decoding sweep point: %w", err)
 	}
-	p := sweepPoint{pt: measure.Point{X: w.X, Y: w.Y}, row: make([]any, len(w.Row))}
+	p := sweepPoint{pt: measure.Point{X: w.X, Y: w.Y}, row: make([]any, len(w.Row)), steps: w.Steps}
 	for i, s := range w.Row {
 		p.row[i] = s
 	}

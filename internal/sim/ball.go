@@ -130,6 +130,10 @@ type ballMachine struct {
 	info   NodeInfo
 	radius int
 	bc     *BallCollector
+	// send is reused across rounds: the engine copies each entry out of the
+	// returned slice before the machine steps again, so the buffer is free
+	// for rewriting every round.
+	send []any
 }
 
 func (m *ballMachine) Step(round int, recv []any) ([]any, bool) {
@@ -141,12 +145,14 @@ func (m *ballMachine) Step(round int, recv []any) ([]any, bool) {
 	if round >= m.radius {
 		return nil, true
 	}
-	send := make([]any, m.info.Degree)
-	snap := m.bc.Snapshot()
-	for i := range send {
-		send[i] = snap
+	if m.send == nil {
+		m.send = make([]any, m.info.Degree)
 	}
-	return send, false
+	snap := m.bc.Snapshot()
+	for i := range m.send {
+		m.send[i] = snap
+	}
+	return m.send, false
 }
 
 func (m *ballMachine) Output() any { return len(m.bc.Known(m.radius)) }

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sync"
 
 	"repro/internal/graph"
 )
@@ -14,18 +13,27 @@ import (
 // with the same options, IDs, and inputs is deterministic, independent of the
 // parallelism level.
 //
-// The parallel backend steps the nodes of a single round across a worker
-// pool. The LOCAL model's synchronous-round barrier makes this
-// semantics-preserving: within a round, node v only reads its own inbox
+// All backends schedule over the active frontier: the compact list of nodes
+// that have not terminated yet. A round steps only frontier nodes, and the
+// frozen outputs of terminated nodes reach their live neighbors by pull
+// (each active node fills its empty inbox slots before stepping) instead of
+// a push sweep over the terminated set, so per-round cost is proportional to
+// the live-node count — Θ(Σ_v T_v) machine steps over a whole run instead of
+// Θ(n · TotalRounds).
+//
+// The parallel backend steps the frontier of a single round across a
+// persistent worker pool. The LOCAL model's synchronous-round barrier makes
+// this semantics-preserving: within a round, node v only reads its own inbox
 // (written during the previous round) and only writes the slots
 // next[u][port-back-to-v], which no other node writes. Rounds, outputs, and
 // message counts are therefore bit-identical between sequential and parallel
 // executions.
 //
 // The sharded backend (WithShards) instead partitions the tree into
-// contiguous node-range shards with private state, exchanging only
-// cross-shard boundary messages at the round barrier; see shard.go. It is
-// equally bit-identical to the sequential backend.
+// contiguous node-range shards with private state (each with its own
+// frontier), exchanging only cross-shard boundary messages at the round
+// barrier; see shard.go. It is equally bit-identical to the sequential
+// backend.
 type Engine struct {
 	ids         []uint64
 	inputs      []any
@@ -46,7 +54,9 @@ func WithIDs(ids []uint64) Option { return func(e *Engine) { e.ids = ids } }
 func WithInputs(inputs []any) Option { return func(e *Engine) { e.inputs = inputs } }
 
 // WithMaxRounds aborts a run if some node has not terminated after this many
-// rounds; 0 means 4*n + 64 (a generous bound for linear-time algorithms).
+// executed rounds; 0 means 4*n + 64 (a generous bound for linear-time
+// algorithms). An algorithm that needs exactly MaxRounds rounds succeeds;
+// one that needs MaxRounds+1 fails with ErrRoundLimit.
 func WithMaxRounds(r int) Option { return func(e *Engine) { e.maxRounds = r } }
 
 // WithContext attaches a context checked at every round barrier; when it is
@@ -143,6 +153,7 @@ func (e *Engine) Run(t *graph.Tree, alg Algorithm) (*Result, error) {
 		frozen:    make([]any, n),
 		inbox:     make([]any, slots),
 		next:      make([]any, slots),
+		active:    make([]int32, n),
 		res: &Result{
 			Rounds:  make([]int, n),
 			Outputs: make([]any, n),
@@ -156,6 +167,7 @@ func (e *Engine) Run(t *graph.Tree, alg Algorithm) (*Result, error) {
 		if e.inputs != nil {
 			input = e.inputs[v]
 		}
+		r.active[v] = int32(v)
 		r.machines[v] = alg.NewMachine(NodeInfo{
 			ID:     ids[v],
 			Degree: t.Degree(v),
@@ -166,11 +178,13 @@ func (e *Engine) Run(t *graph.Tree, alg Algorithm) (*Result, error) {
 	return r.execute()
 }
 
-// rangeStats accumulates what one worker observed over its node range.
+// rangeStats accumulates what one worker observed over its slice of the
+// frontier in one round.
 type rangeStats struct {
-	fins int
-	msgs int64
-	err  error
+	kept  int // frontier entries surviving the round (compacted in place)
+	steps int64
+	msgs  int64
+	err   error
 }
 
 // run is the mutable state of one execution, kept in struct-of-arrays form:
@@ -179,6 +193,14 @@ type rangeStats struct {
 // slot — port p of node v is slot off[v]+p, so the receive window of v is
 // the contiguous range inbox[off[v]:off[v+1]] and a round is a linear sweep
 // over contiguous memory.
+//
+// active is the frontier: the ascending list of not-yet-terminated nodes. A
+// round touches only active entries; stepRange compacts survivors in place,
+// so terminated nodes cost nothing from the round after their termination
+// on. Frozen-output redelivery is pulled by the live side (pullRange fills a
+// stepping node's empty inbox slots from terminated neighbors) rather than
+// pushed by the terminated side, which is what lets the dead set drop out of
+// the per-round cost entirely.
 type run struct {
 	alg       Algorithm
 	ctx       context.Context
@@ -192,26 +214,65 @@ type run struct {
 	machines []Machine
 	done     []bool
 	// frozen[v] caches the boxed Terminated{Output} interface value created
-	// once when v terminates, so redelivering it every subsequent round is
-	// allocation-free.
+	// once when v terminates, so every later pull of it is allocation-free.
 	frozen []any
-	inbox  []any // flat receive slots, len 2*M
-	next   []any // flat send slots for the following round, len 2*M
+	inbox  []any   // flat receive slots, len 2*M
+	next   []any   // flat send slots for the following round, len 2*M
+	active []int32 // frontier: undecided nodes, ascending, compacted in place
+	nDone  int     // terminated so far; pull phases are skipped while 0
 	res    *Result
-	stats  []rangeStats // per-worker, parallel backend only
+
+	// Parallel backend only: the persistent worker pool. Workers live for
+	// the whole run (no per-round goroutine spawning); the coordinator
+	// broadcasts one command per phase and collects one ack per dispatched
+	// worker. stats[w] is written only by worker w and read by the
+	// coordinator after the round barrier.
+	stats []rangeStats
+	cmds  []chan poolCmd
+	ack   chan struct{}
+}
+
+// poolCmd is one phase of work for a pool worker: the pull or step phase of
+// a round, over the frontier slice [lo, hi).
+type poolCmd struct {
+	pull   bool
+	round  int
+	lo, hi int
+}
+
+// worker is the body of one persistent pool goroutine: it performs phases
+// until the coordinator closes its command channel.
+func (r *run) worker(w int) {
+	for c := range r.cmds[w] {
+		if c.pull {
+			r.pullRange(c.lo, c.hi)
+		} else {
+			r.stats[w] = r.stepRange(c.round, c.lo, c.hi)
+		}
+		r.ack <- struct{}{}
+	}
 }
 
 func (r *run) execute() (*Result, error) {
-	remaining := len(r.machines)
-	// Bind the phase method values once: creating them inside the loop would
-	// allocate two closures per round.
-	step, redeliver := r.stepRange, r.redeliverRange
+	if r.workers > 1 {
+		r.ack = make(chan struct{}, r.workers)
+		r.cmds = make([]chan poolCmd, r.workers)
+		for w := range r.cmds {
+			r.cmds[w] = make(chan poolCmd)
+			go r.worker(w)
+		}
+		defer func() {
+			for _, c := range r.cmds {
+				close(c)
+			}
+		}()
+	}
 	for round := 0; ; round++ {
-		if remaining == 0 {
+		if len(r.active) == 0 {
 			r.res.TotalRounds = round
 			return r.res, nil
 		}
-		if round > r.maxRounds {
+		if round >= r.maxRounds {
 			return nil, fmt.Errorf("%w: algorithm %q, n=%d, limit=%d",
 				ErrRoundLimit, r.alg.Name(), len(r.machines), r.maxRounds)
 		}
@@ -219,77 +280,135 @@ func (r *run) execute() (*Result, error) {
 			return nil, fmt.Errorf("sim: algorithm %q canceled at round %d: %w",
 				r.alg.Name(), round, err)
 		}
-		st := r.forEach(round, step)
+		st := r.round(round)
 		if st.err != nil {
 			return nil, st.err
 		}
-		remaining -= st.fins
 		r.res.Messages += st.msgs
-		if st := r.forEach(round, redeliver); st.err != nil {
-			return nil, st.err
-		}
+		r.res.Steps += st.steps
 		r.inbox, r.next = r.next, r.inbox
 	}
 }
 
-// forEach applies fn to [0, n) either inline (sequential backend) or split
-// into contiguous chunks across the worker pool, and merges the per-range
-// stats. Worker errors are merged lowest-range-first so the reported error is
-// deterministic.
-func (r *run) forEach(round int, fn func(round, lo, hi int) rangeStats) rangeStats {
-	n := len(r.machines)
+// round executes one synchronous round over the frontier: a pull phase
+// (filling live nodes' empty inbox slots from terminated neighbors — skipped
+// entirely while nothing has terminated) and a step phase, then compacts the
+// frontier. The parallel backend splits both phases into contiguous frontier
+// chunks across the pool, with a barrier between them: the pull phase reads
+// done/frozen state that the step phase writes, so they must not overlap.
+// Stats and errors merge lowest-chunk-first, which keeps the reported error
+// deterministic (the same node order the sequential backend fails in).
+func (r *run) round(round int) rangeStats {
+	n := len(r.active)
 	if r.workers <= 1 {
-		return fn(round, 0, n)
+		if r.nDone > 0 {
+			r.pullRange(0, n)
+		}
+		st := r.stepRange(round, 0, n)
+		if st.err == nil {
+			r.nDone += n - st.kept
+			r.active = r.active[:st.kept]
+		}
+		return st
 	}
 	chunk := (n + r.workers - 1) / r.workers
-	var wg sync.WaitGroup
-	used := 0
-	for w := 0; w < r.workers; w++ {
-		lo := w * chunk
-		if lo >= n {
-			break
-		}
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		used++
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			r.stats[w] = fn(round, lo, hi)
-		}(w, lo, hi)
+	used := (n + chunk - 1) / chunk
+	if r.nDone > 0 {
+		r.dispatch(poolCmd{pull: true}, n, chunk, used)
 	}
-	wg.Wait()
+	r.dispatch(poolCmd{round: round}, n, chunk, used)
 	var total rangeStats
 	for w := 0; w < used; w++ {
-		total.fins += r.stats[w].fins
+		total.steps += r.stats[w].steps
 		total.msgs += r.stats[w].msgs
 		if total.err == nil {
 			total.err = r.stats[w].err
 		}
 	}
+	if total.err != nil {
+		return total
+	}
+	// Merge the per-chunk in-place compactions into one contiguous frontier,
+	// lowest chunk first: each worker left its survivors at the front of its
+	// chunk, so the merge is at most one forward copy per chunk and the
+	// frontier stays in ascending node order.
+	write := 0
+	for w := 0; w < used; w++ {
+		lo, kept := w*chunk, r.stats[w].kept
+		if write != lo {
+			copy(r.active[write:write+kept], r.active[lo:lo+kept])
+		}
+		write += kept
+	}
+	r.nDone += n - write
+	r.active = r.active[:write]
+	total.kept = write
 	return total
 }
 
-// stepRange runs one round for the undecided nodes in [lo, hi). Each node's
-// receive window is a subslice of the flat inbox, consumed in place
-// (clear-and-swap: the cleared window becomes the node's receive window
-// after the swap), so no separate clearing pass over all ports is needed
-// and steady-state rounds allocate nothing. In the parallel backend the
-// node ranges are disjoint, so the slot ranges [off[lo], off[hi]) are
-// disjoint too, and every next[rev[e]] write has a single writer (the owner
-// of edge slot e).
+// dispatch broadcasts one phase over the first `used` workers, splitting the
+// frontier prefix [0, n) into contiguous chunks, and waits for all acks — the
+// intra-round barrier between the pull and step phases.
+func (r *run) dispatch(c poolCmd, n, chunk, used int) {
+	for w := 0; w < used; w++ {
+		c.lo = w * chunk
+		c.hi = c.lo + chunk
+		if c.hi > n {
+			c.hi = n
+		}
+		r.cmds[w] <- c
+	}
+	for w := 0; w < used; w++ {
+		<-r.ack
+	}
+}
+
+// pullRange fills the empty inbox slots of the frontier nodes in active[lo:hi)
+// from their terminated neighbors' frozen outputs — the pull form of frozen
+// redelivery. A non-nil slot is a real message (possibly sent in the
+// neighbor's terminating round) and takes precedence. The phase reads only
+// done/frozen state from completed rounds — the step phase runs behind a
+// barrier — and writes only the receive windows of the range's own nodes, so
+// parallel pulls are race-free.
+func (r *run) pullRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		v := r.active[i]
+		for e := r.off[v]; e < r.off[v+1]; e++ {
+			if r.inbox[e] == nil {
+				if u := r.nbrs[e]; r.done[u] {
+					r.inbox[e] = r.frozen[u]
+				}
+			}
+		}
+	}
+}
+
+// stepRange runs one round for the frontier nodes in active[lo:hi),
+// compacting survivors to the front of the range. Each node's receive window
+// is a subslice of the flat inbox, consumed in place (clear-and-swap: the
+// cleared window becomes the node's receive window after the swap), so no
+// separate clearing pass over all ports is needed and steady-state rounds
+// allocate nothing. In the parallel backend the frontier chunks hold
+// disjoint nodes, so their slot windows are disjoint too, and every
+// next[rev[e]] write has a single writer (the owner of edge slot e).
 func (r *run) stepRange(round, lo, hi int) rangeStats {
 	var st rangeStats
-	for v := lo; v < hi; v++ {
-		if r.done[v] {
-			continue
-		}
+	keep := lo
+	for i := lo; i < hi; i++ {
+		v := int(r.active[i])
 		base, end := r.off[v], r.off[v+1]
 		recv := r.inbox[base:end:end]
 		send, fin := r.machines[v].Step(round, recv)
+		st.steps++
 		deg := int(end - base)
+		for p := deg; p < len(send); p++ {
+			if send[p] != nil {
+				st.err = fmt.Errorf("%w: algorithm %q node %d port %d degree %d",
+					ErrBadPort, r.alg.Name(), v, p, deg)
+				st.kept = keep - lo
+				return st
+			}
+		}
 		for p := 0; p < len(send) && p < deg; p++ {
 			if send[p] == nil {
 				continue
@@ -300,47 +419,26 @@ func (r *run) stepRange(round, lo, hi int) rangeStats {
 		// Clear only after the sends are copied out: a machine may return its
 		// recv slice as send.
 		clearAny(recv)
-		if fin {
-			r.done[v] = true
-			st.fins++
-			r.res.Rounds[v] = round
-			out := r.machines[v].Output()
-			if out == nil {
-				st.err = fmt.Errorf("%w: algorithm %q node %d",
-					ErrNilOutput, r.alg.Name(), v)
-				return st
-			}
-			r.res.Outputs[v] = out
-			r.frozen[v] = Terminated{Output: out}
-			// From the next round on, neighbors observe the frozen output. A
-			// final message sent in the terminating round takes precedence.
-			for e := base; e < end; e++ {
-				if slot := &r.next[r.rev[e]]; *slot == nil {
-					*slot = r.frozen[v]
-				}
-			}
-		}
-	}
-	return st
-}
-
-// redeliverRange keeps the frozen output of every terminated node in [lo, hi)
-// visible to its still-active neighbors, at zero message cost and zero
-// allocation (the boxed Terminated value is cached in frozen[v]).
-func (r *run) redeliverRange(_, lo, hi int) rangeStats {
-	for v := lo; v < hi; v++ {
-		if !r.done[v] {
+		if !fin {
+			r.active[keep] = int32(v)
+			keep++
 			continue
 		}
-		fz := r.frozen[v]
-		for e := r.off[v]; e < r.off[v+1]; e++ {
-			if r.done[r.nbrs[e]] {
-				continue
-			}
-			if slot := &r.next[r.rev[e]]; *slot == nil {
-				*slot = fz
-			}
+		r.done[v] = true
+		r.res.Rounds[v] = round
+		out := r.machines[v].Output()
+		if out == nil {
+			st.err = fmt.Errorf("%w: algorithm %q node %d",
+				ErrNilOutput, r.alg.Name(), v)
+			st.kept = keep - lo
+			return st
 		}
+		r.res.Outputs[v] = out
+		// From the next round on, still-active neighbors observe the frozen
+		// output by pulling it; a final message sent in the terminating round
+		// stays in its slot and takes precedence.
+		r.frozen[v] = Terminated{Output: out}
 	}
-	return rangeStats{}
+	st.kept = keep - lo
+	return st
 }

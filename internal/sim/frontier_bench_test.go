@@ -1,0 +1,145 @@
+package sim
+
+// BenchmarkEngineFrontier measures round scheduling on early-termination
+// workloads — instances where almost every node terminates in the first
+// round or two while a small frontier runs on, the regime whose cost the
+// node-averaged complexity of the paper actually describes. A full-sweep
+// scheduler pays Θ(n) per round regardless; the frontier scheduler's cost
+// collapses with the live set, which is the whole point of the rewrite.
+//
+// This file is deliberately self-contained on the long-standing public
+// engine surface (NewEngine, WithIDs, WithInputs, Run, Terminated), so the
+// identical file compiles against the pre-frontier engine too: the
+// before/after columns of BENCH_engine.json come from `go test -c` binaries
+// of the two trees run interleaved, per the methodology note there.
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// holdoutAlg terminates node v in round input(v) without ever sending: the
+// pure scheduling workload. With one node held out for R rounds and every
+// other input 0, the frontier is a single node from round 1 on.
+type holdoutAlg struct{}
+
+func (holdoutAlg) Name() string { return "holdout" }
+func (holdoutAlg) NewMachine(info NodeInfo) Machine {
+	deadline, _ := info.Input.(int)
+	return &holdoutMachine{deadline: deadline}
+}
+
+type holdoutMachine struct {
+	deadline int
+	round    int
+}
+
+func (m *holdoutMachine) Step(round int, recv []any) ([]any, bool) {
+	m.round = round
+	return nil, round >= m.deadline
+}
+
+func (m *holdoutMachine) Output() any { return m.round }
+
+// rakeAlg is the classic rake: a node terminates once at most one of its
+// ports is still unterminated, so leaves drop off immediately and a
+// termination wave moves inward — on a path, from both endpoints; on a
+// caterpillar, the legs vanish in round 0 and the spine rakes end-to-end.
+type rakeAlg struct{}
+
+func (rakeAlg) Name() string { return "rake" }
+func (rakeAlg) NewMachine(info NodeInfo) Machine {
+	return &rakeMachine{doneSeen: make([]bool, info.Degree)}
+}
+
+type rakeMachine struct {
+	doneSeen []bool
+	send     []any
+	round    int
+}
+
+func (m *rakeMachine) Step(round int, recv []any) ([]any, bool) {
+	for p, msg := range recv {
+		if _, ok := msg.(Terminated); ok {
+			m.doneSeen[p] = true
+		}
+	}
+	live := 0
+	for _, d := range m.doneSeen {
+		if !d {
+			live++
+		}
+	}
+	if live <= 1 {
+		m.round = round
+		return nil, true
+	}
+	if m.send == nil {
+		m.send = make([]any, len(m.doneSeen))
+		for p := range m.send {
+			m.send[p] = "alive"
+		}
+	}
+	return m.send, false
+}
+
+func (m *rakeMachine) Output() any { return m.round }
+
+func BenchmarkEngineFrontier(b *testing.B) {
+	star, err := graph.BuildStar(4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	holdout := make([]any, star.N())
+	for v := range holdout {
+		holdout[v] = 0
+	}
+	holdout[0] = 512 // the center outlives every leaf by 512 rounds
+	path, err := graph.BuildPath(4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Endpoint holdout on a path: from round 1 on the frontier is a single
+	// degree-1 node, so per-round frontier cost is O(1) versus the full
+	// sweep's Θ(n) — the cleanest proportional-to-live-work case (the star's
+	// lone survivor still owns n-1 ports, which any delivery must touch).
+	pathHoldout := make([]any, path.N())
+	for v := range pathHoldout {
+		pathHoldout[v] = 0
+	}
+	pathHoldout[0] = 3072
+	cat, err := graph.BuildCaterpillar(129, 30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		tree   *graph.Tree
+		alg    Algorithm
+		inputs []any
+	}{
+		{"star4096-holdout512", star, holdoutAlg{}, holdout},
+		{"path4096-holdout3072", path, holdoutAlg{}, pathHoldout},
+		{"path4096-rake", path, rakeAlg{}, nil},
+		{"caterpillar129x30-rake", cat, rakeAlg{}, nil},
+	}
+	for _, c := range cases {
+		n := c.tree.N()
+		ids := DefaultIDs(n, 1)
+		b.Run(c.name, func(b *testing.B) {
+			eng := NewEngine(WithIDs(ids), WithInputs(c.inputs))
+			b.ReportAllocs()
+			b.ResetTimer()
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Run(c.tree, c.alg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = res.TotalRounds
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n*rounds), "ns/node-round")
+		})
+	}
+}

@@ -6,28 +6,35 @@ package sim
 // barrier.
 //
 // Each shard owns the machines and message slots of its node range and
-// steps them exactly like the sequential backend. Because the tree is in
-// CSR form, a contiguous node range [lo, hi) owns the contiguous
+// steps them exactly like the sequential backend — including its frontier:
+// each shard keeps the compact list of its not-yet-terminated nodes and a
+// round costs Θ(local frontier size), not Θ(shard size). Because the tree is
+// in CSR form, a contiguous node range [lo, hi) owns the contiguous
 // directed-edge slot range [off[lo], off[hi)) — a shard's entire message
 // state is two flat arrays covering that interval, and snapshotting or
 // shipping a shard is a pair of slice copies. A message from a local node
 // to a local neighbor is written directly into the neighbor's receive slot;
 // a message to a node of another shard is queued as a boundaryMsg
-// (addressed by global flat slot) and delivered by the bus between the step
-// and redeliver phases. Frozen outputs of terminated boundary nodes cross
-// the bus exactly once (as a fill message); the receiving shard mirrors
-// them and redelivers locally in every later round, so steady-state frozen
-// redelivery costs no bus traffic — the same zero-cost convention the
-// sequential backend implements with its cached Terminated values.
+// (addressed by global flat slot) and delivered by the bus at the barrier.
+//
+// Frozen outputs of terminated nodes reach still-active local nodes by pull:
+// before stepping, each frontier node fills its empty inbox slots from
+// terminated local neighbors (and from remoteFrozen, see below), so
+// terminated nodes cost nothing per round. Frozen outputs of terminated
+// boundary nodes cross the bus exactly once, as a fill message that the
+// receiving shard caches in remoteFrozen by local slot; every later round
+// the pull phase serves it from the cache at zero bus cost — the same
+// zero-cost convention the unsharded backends implement.
 //
 // Determinism: every receive slot has exactly one writer (the neighbor
-// behind the reverse edge, or the bus acting for it), so delivery order
-// never affects what a machine observes, and Rounds, Outputs, TotalRounds,
-// and Messages are bit-identical to the sequential backend at every shard
-// count. The bus is the single seam through which a shard learns anything
-// about other shards' nodes, which is what makes it the attachment point for
-// a future multi-process executor: replace the in-memory exchange with a
-// network transport and nothing else changes.
+// behind the reverse edge, or the bus acting for it), and the pull phase
+// only fills slots that round's writers left empty, so delivery order never
+// affects what a machine observes, and Rounds, Outputs, TotalRounds,
+// Messages, and Steps are bit-identical to the sequential backend at every
+// shard count. The bus is the single seam through which a shard learns
+// anything about other shards' nodes, which is what makes it the attachment
+// point for a future multi-process executor: replace the in-memory exchange
+// with a network transport and nothing else changes.
 
 import (
 	"fmt"
@@ -51,14 +58,19 @@ type ShardStats struct {
 	// ActiveRounds counts rounds in which the shard still hosted at least
 	// one undecided node.
 	ActiveRounds int `json:"active_rounds"`
+	// Steps counts the Machine.Step invocations the shard performed: the
+	// shard's share of Result.Steps, and — frontier scheduling — the work it
+	// actually did.
+	Steps int64 `json:"steps"`
 }
 
 // boundaryMsg is one unit of cross-shard traffic: a payload for the receive
 // slot `slot` (a global flat directed-edge index; the owning shard is
 // implied by the destination node dst). A fill message carries a terminated
-// node's frozen output; it only lands in an empty slot (a real message sent
-// in the terminating round takes precedence) and is mirrored by the
-// receiving shard for local redelivery in all later rounds.
+// node's frozen output; the receiving shard caches it in remoteFrozen and
+// its pull phase serves it into the slot whenever a round leaves the slot
+// empty (a real message — including one sent in the terminating round —
+// always takes precedence).
 type boundaryMsg struct {
 	dst     int
 	slot    int32
@@ -66,24 +78,15 @@ type boundaryMsg struct {
 	payload any
 }
 
-// mirrorEdge records a remote neighbor's frozen output and the local receive
-// slot it keeps filling: once a fill message for (node, slot) arrives, the
-// owning shard redelivers val into that slot in every later round, with no
-// further bus traffic. slot is shard-local (global slot minus slotBase).
-type mirrorEdge struct {
-	node int
-	slot int32
-	val  any
-}
-
 // shardPhase selects the work a shard executor performs at a barrier step.
 type shardPhase int
 
 const (
-	// phaseStep runs one synchronous round for the shard's undecided nodes.
+	// phaseStep runs one synchronous round for the shard's frontier: the
+	// pull phase (frozen-output fills) followed by the machine steps.
 	phaseStep shardPhase = iota
-	// phaseFinish redelivers frozen outputs (local and mirrored) and swaps
-	// the shard's receive/send buffers, completing the round.
+	// phaseFinish swaps the shard's receive/send buffers, completing the
+	// round after the bus exchange.
 	phaseFinish
 )
 
@@ -108,17 +111,27 @@ type shard struct {
 	frozen   []any
 	inbox    []any // flat receive slots, len off[hi]-off[lo]
 	next     []any // flat send slots for the following round
+	// active is the shard's frontier: local offsets of its undecided nodes,
+	// ascending, compacted in place as nodes terminate.
+	active []int32
+	// remoteFrozen[ls] caches the frozen output of the terminated remote
+	// neighbor behind local receive slot ls, delivered once by a fill
+	// message; the pull phase serves it in every later round at zero bus
+	// cost. Allocated lazily on the first fill, so runs whose boundary
+	// nodes never terminate early pay nothing for it. nRemote counts the
+	// cached entries (with remaining it gates the pull phase: nothing to
+	// pull while both are at their initial values).
+	remoteFrozen []any
+	nRemote      int
 
 	// outbox[t] queues this round's boundary messages for shard t; the bus
 	// drains it at the barrier and the backing arrays are reused.
 	outbox [][]boundaryMsg
-	// mirror accumulates the frozen outputs of terminated remote neighbors,
-	// redelivered locally in every later round.
-	mirror []mirrorEdge
 
 	stats ShardStats
 	fins  int   // terminations this round, drained by the coordinator
 	msgs  int64 // sends this round, drained by the coordinator
+	steps int64 // machine steps this round, drained by the coordinator
 	err   error
 
 	cmd chan shardCmd
@@ -127,15 +140,16 @@ type shard struct {
 
 // shardBus exchanges boundary messages between shards at the round barrier.
 // Delivery iterates destinations and sources in index order, but order is
-// immaterial for the results: each receive slot has a single writer.
+// immaterial for the results: each receive slot has a single writer, and
+// fill messages only populate the remoteFrozen cache.
 type shardBus struct {
 	shards []*shard
 }
 
 // exchange drains every shard's outboxes into the destination shards'
 // receive buffers. Real messages are written unconditionally (the slot's only
-// writer is the sender); fill messages land only in empty slots and are
-// mirrored by the destination for later local redelivery.
+// writer is the sender); fill messages land in the destination's
+// remoteFrozen cache, from which its pull phase redelivers locally.
 func (b *shardBus) exchange() {
 	for _, dst := range b.shards {
 		for _, src := range b.shards {
@@ -146,15 +160,17 @@ func (b *shardBus) exchange() {
 			for i := range q {
 				m := &q[i]
 				ls := m.slot - dst.slotBase
-				slot := &dst.next[ls]
 				if !m.fill {
-					*slot = m.payload
+					dst.next[ls] = m.payload
 					continue
 				}
-				if *slot == nil {
-					*slot = m.payload
+				if dst.remoteFrozen == nil {
+					dst.remoteFrozen = make([]any, len(dst.inbox))
 				}
-				dst.mirror = append(dst.mirror, mirrorEdge{node: m.dst, slot: ls, val: m.payload})
+				if dst.remoteFrozen[ls] == nil {
+					dst.remoteFrozen[ls] = m.payload
+					dst.nRemote++
+				}
 			}
 			src.outbox[dst.idx] = q[:0]
 		}
@@ -212,6 +228,7 @@ func (e *Engine) runSharded(t *graph.Tree, alg Algorithm, ids []uint64, maxRound
 			frozen:    make([]any, size),
 			inbox:     make([]any, slots),
 			next:      make([]any, slots),
+			active:    make([]int32, size),
 			cmd:       make(chan shardCmd),
 			ack:       make(chan struct{}),
 		}
@@ -222,6 +239,7 @@ func (e *Engine) runSharded(t *graph.Tree, alg Algorithm, ids []uint64, maxRound
 		sh.outbox = make([][]boundaryMsg, len(r.shards))
 		for v := sh.lo; v < sh.hi; v++ {
 			i := v - sh.lo
+			sh.active[i] = int32(i)
 			var input any
 			if e.inputs != nil {
 				input = e.inputs[v]
@@ -243,10 +261,11 @@ func (e *Engine) runSharded(t *graph.Tree, alg Algorithm, ids []uint64, maxRound
 	return r.execute(e)
 }
 
-// execute drives the round loop: step all shards, exchange boundary
-// messages, redeliver and swap, until every node terminated. Shard executors
-// are persistent goroutines commanded phase by phase; the coordinator owns
-// the round barrier, the termination count, and the cancellation checks.
+// execute drives the round loop: step all shards (pull + machine steps),
+// exchange boundary messages, swap, until every node terminated. Shard
+// executors are persistent goroutines commanded phase by phase; the
+// coordinator owns the round barrier, the termination count, and the
+// cancellation checks.
 func (r *shardRun) execute(e *Engine) (*Result, error) {
 	for _, sh := range r.shards {
 		go sh.loop()
@@ -269,7 +288,7 @@ func (r *shardRun) execute(e *Engine) (*Result, error) {
 			}
 			return r.res, nil
 		}
-		if round > r.maxRounds {
+		if round >= r.maxRounds {
 			return nil, fmt.Errorf("%w: algorithm %q, n=%d, limit=%d",
 				ErrRoundLimit, r.alg.Name(), r.t.N(), r.maxRounds)
 		}
@@ -287,7 +306,9 @@ func (r *shardRun) execute(e *Engine) (*Result, error) {
 			}
 			remaining -= sh.fins
 			r.res.Messages += sh.msgs
-			sh.fins, sh.msgs = 0, 0
+			r.res.Steps += sh.steps
+			sh.stats.Steps += sh.steps
+			sh.fins, sh.msgs, sh.steps = 0, 0, 0
 		}
 		r.bus.exchange()
 		r.barrier(shardCmd{phase: phaseFinish})
@@ -313,32 +334,62 @@ func (sh *shard) loop() {
 		case phaseStep:
 			sh.step(c.round)
 		case phaseFinish:
-			sh.redeliver()
 			sh.inbox, sh.next = sh.next, sh.inbox
 		}
 		sh.ack <- struct{}{}
 	}
 }
 
-// step runs one round for the shard's undecided nodes: the sharded
-// counterpart of stepRange, with sends to remote nodes diverted into the
-// outboxes instead of written directly.
+// step runs one round for the shard's frontier: the sharded counterpart of
+// pullRange + stepRange, with sends to remote nodes diverted into the
+// outboxes instead of written directly. The pull loop completes before any
+// machine steps, so a node terminating this round becomes visible to its
+// local neighbors only from the next round on — exactly the sequential
+// backend's phase order. Both loops touch only shard-private state between
+// barriers, so pull and step can share one phase.
 func (sh *shard) step(round int) {
-	if sh.remaining == 0 {
+	if len(sh.active) == 0 {
 		return
 	}
 	sh.stats.ActiveRounds++
 	r := sh.r
 	off, nbrs, rev := r.off, r.nbrs, r.rev
-	for v := sh.lo; v < sh.hi; v++ {
-		i := v - sh.lo
-		if sh.done[i] {
-			continue
+	if sh.remaining < sh.stats.Nodes || sh.nRemote > 0 {
+		for _, li := range sh.active {
+			v := sh.lo + int(li)
+			for e := off[v]; e < off[v+1]; e++ {
+				ls := e - sh.slotBase
+				if sh.inbox[ls] != nil {
+					continue
+				}
+				if sh.nRemote > 0 {
+					if fz := sh.remoteFrozen[ls]; fz != nil {
+						sh.inbox[ls] = fz
+						continue
+					}
+				}
+				if u := int(nbrs[e]); u/r.chunk == sh.idx && sh.done[u-sh.lo] {
+					sh.inbox[ls] = sh.frozen[u-sh.lo]
+				}
+			}
 		}
+	}
+	keep := 0
+	for _, li := range sh.active {
+		i := int(li)
+		v := sh.lo + i
 		base, end := off[v], off[v+1]
 		recv := sh.inbox[base-sh.slotBase : end-sh.slotBase : end-sh.slotBase]
 		send, fin := sh.machines[i].Step(round, recv)
+		sh.steps++
 		deg := int(end - base)
+		for p := deg; p < len(send); p++ {
+			if send[p] != nil {
+				sh.err = fmt.Errorf("%w: algorithm %q node %d port %d degree %d",
+					ErrBadPort, r.alg.Name(), v, p, deg)
+				return
+			}
+		}
 		for p := 0; p < len(send) && p < deg; p++ {
 			if send[p] == nil {
 				continue
@@ -357,67 +408,34 @@ func (sh *shard) step(round int) {
 		// recv slice as send (the boundary queue holds interface copies, so
 		// queued payloads survive the clear).
 		clearAny(recv)
-		if fin {
-			sh.done[i] = true
-			sh.remaining--
-			sh.fins++
-			r.res.Rounds[v] = round
-			out := sh.machines[i].Output()
-			if out == nil {
-				sh.err = fmt.Errorf("%w: algorithm %q node %d",
-					ErrNilOutput, r.alg.Name(), v)
-				return
-			}
-			r.res.Outputs[v] = out
-			sh.frozen[i] = Terminated{Output: out}
-			// Neighbors observe the frozen output from the next round on; a
-			// real message sent in the terminating round takes precedence.
-			// Cross-shard ports ship the frozen value once as a fill message,
-			// after any real send queued above, so the bus preserves the
-			// precedence rule.
-			for e := base; e < end; e++ {
-				if t := int(nbrs[e]) / r.chunk; t != sh.idx {
-					sh.outbox[t] = append(sh.outbox[t],
-						boundaryMsg{dst: int(nbrs[e]), slot: rev[e], fill: true, payload: sh.frozen[i]})
-				} else if slot := &sh.next[rev[e]-sh.slotBase]; *slot == nil {
-					*slot = sh.frozen[i]
-				}
-			}
-		}
-	}
-}
-
-// redeliver keeps frozen outputs visible to still-active local nodes: local
-// terminated neighbors directly (like redeliverRange), remote ones through
-// the mirror populated by fill messages — both at zero message cost.
-func (sh *shard) redeliver() {
-	r := sh.r
-	off, nbrs, rev := r.off, r.nbrs, r.rev
-	for i, d := range sh.done {
-		if !d {
+		if !fin {
+			sh.active[keep] = li
+			keep++
 			continue
 		}
-		v := sh.lo + i
-		fz := sh.frozen[i]
-		for e := off[v]; e < off[v+1]; e++ {
-			u := int(nbrs[e])
-			if u/r.chunk != sh.idx {
-				continue // the owning shard redelivers from its mirror
-			}
-			if sh.done[u-sh.lo] {
-				continue
-			}
-			if slot := &sh.next[rev[e]-sh.slotBase]; *slot == nil {
-				*slot = fz
+		sh.done[i] = true
+		sh.remaining--
+		sh.fins++
+		r.res.Rounds[v] = round
+		out := sh.machines[i].Output()
+		if out == nil {
+			sh.err = fmt.Errorf("%w: algorithm %q node %d",
+				ErrNilOutput, r.alg.Name(), v)
+			return
+		}
+		r.res.Outputs[v] = out
+		sh.frozen[i] = Terminated{Output: out}
+		// Local neighbors observe the frozen output by pulling it from the
+		// next round on; a real message sent in the terminating round stays
+		// in its slot and takes precedence. Cross-shard ports ship the frozen
+		// value once as a fill message (after any real send queued above) for
+		// the remote shard's remoteFrozen cache.
+		for e := base; e < end; e++ {
+			if t := int(nbrs[e]) / r.chunk; t != sh.idx {
+				sh.outbox[t] = append(sh.outbox[t],
+					boundaryMsg{dst: int(nbrs[e]), slot: rev[e], fill: true, payload: sh.frozen[i]})
 			}
 		}
 	}
-	for _, m := range sh.mirror {
-		if sh.done[m.node-sh.lo] {
-			continue
-		}
-		if slot := &sh.next[m.slot]; *slot == nil {
-			*slot = m.val
-		}
-	}
+	sh.active = sh.active[:keep]
 }

@@ -175,9 +175,11 @@ func TestShardStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// tickAlg{rounds: R} steps every node in rounds 0..R, so each 5-node
+	// shard performs 5*(R+1) machine steps.
 	want := []ShardStats{
-		{Shard: 0, Nodes: 5, BoundaryEdges: 1, MessagesCrossed: rounds, ActiveRounds: rounds + 1},
-		{Shard: 1, Nodes: 5, BoundaryEdges: 1, MessagesCrossed: rounds, ActiveRounds: rounds + 1},
+		{Shard: 0, Nodes: 5, BoundaryEdges: 1, MessagesCrossed: rounds, ActiveRounds: rounds + 1, Steps: 5 * (rounds + 1)},
+		{Shard: 1, Nodes: 5, BoundaryEdges: 1, MessagesCrossed: rounds, ActiveRounds: rounds + 1, Steps: 5 * (rounds + 1)},
 	}
 	if !reflect.DeepEqual(res.Shards, want) {
 		t.Fatalf("Shards = %+v, want %+v", res.Shards, want)

@@ -41,6 +41,15 @@
 // node or by directed-edge slot through the tree's CSR offsets
 // (graph.Tree.Offsets), so stepping a round is a linear sweep over
 // contiguous memory rather than a pointer chase through per-node objects.
+//
+// All backends schedule rounds over the active frontier: a compact list of
+// the not-yet-terminated nodes, compacted in place as nodes terminate, so a
+// round costs Θ(frontier size) rather than Θ(n). Frozen outputs reach active
+// nodes by pull (each active node fills its empty inbox slots from
+// terminated neighbors before stepping) instead of push, so terminated nodes
+// cost nothing at all — per-round work is proportional to exactly the
+// node-averaged quantity the paper measures. Result.Steps records the total
+// machine-step work.
 package sim
 
 import (
@@ -53,6 +62,10 @@ import (
 var (
 	ErrRoundLimit = errors.New("round limit exceeded before all nodes terminated")
 	ErrNilOutput  = errors.New("machine terminated with nil output")
+	// ErrBadPort reports a machine that returned a non-nil message on a port
+	// >= its degree. The seed engine truncated such sends silently, which made
+	// buggy algorithms appear to run clean while dropping traffic.
+	ErrBadPort = errors.New("machine sent on a port beyond its degree")
 )
 
 // NodeInfo is the static information available to a node at the start of the
@@ -106,6 +119,13 @@ type Result struct {
 	TotalRounds int
 	// Messages is the total number of non-nil messages delivered.
 	Messages int64
+	// Steps is the total number of Machine.Step invocations across the run:
+	// node v steps in rounds 0..T_v, so Steps = SumRounds() + n. It is the
+	// work the active-frontier scheduler actually performs — Θ(Σ_v T_v)
+	// machine steps rather than the Θ(n · TotalRounds) sweep a full-range
+	// scheduler would pay — and, like every other Result field, it is
+	// bit-identical across the sequential, parallel, and sharded backends.
+	Steps int64
 	// Shards holds per-shard execution statistics when the run used the
 	// sharded backend (WithShards); nil otherwise. Rounds, Outputs,
 	// TotalRounds, and Messages are bit-identical across all shard counts —
