@@ -43,6 +43,7 @@ import (
 	"strings"
 	"time"
 
+	"repro"
 	"repro/internal/serve"
 )
 
@@ -59,30 +60,52 @@ func main() {
 		storeDir   = flag.String("store", "expd-store", "result-store directory (interchangeable with a cmd/experiments -out directory)")
 		inflight   = flag.Int64("max-inflight", serve.DefaultMaxInFlight, "admission capacity in task-weight units (one unit = one sweep point)")
 		maxQueue   = flag.Int("max-queue", serve.DefaultMaxQueue, "requests allowed to wait for admission before the service sheds with 429")
-		jobs       = flag.Int("jobs", 0, "task parallelism per admitted computation (0 = GOMAXPROCS)")
+		jobs       = flag.Int("jobs", 0, "task parallelism per admitted computation (0 = GOMAXPROCS; ignored with -remote)")
 		timeout    = flag.Duration("timeout", 0, "per-request compute ceiling; requests may lower it via ?timeout=, never raise it (0 = none)")
 		retryAfter = flag.Duration("retry-after", serve.DefaultRetryAfter, "Retry-After hint attached to 429 responses")
+		remote     = flag.String("remote", "", "comma-separated host:port addresses of `experiments worker -listen` acceptors: admitted computations dispatch to this fleet instead of computing in process")
+		remoteCA   = flag.String("remote-ca", "", "verify TLS worker connections against this CA (or self-signed worker certificate) PEM file (requires -remote)")
+		retry      = flag.Bool("worker-retry", false, "retry a crashed remote worker's tasks once on a fresh session before a request fails (with -remote)")
 	)
 	flag.Parse()
-	if err := serveMain(*addr, *storeDir, *inflight, *maxQueue, *jobs, *timeout, *retryAfter); err != nil {
+	cfg := serve.Config{
+		MaxInFlight: *inflight,
+		MaxQueue:    *maxQueue,
+		Jobs:        *jobs,
+		Timeout:     *timeout,
+		RetryAfter:  *retryAfter,
+		WorkerRetry: *retry,
+	}
+	for _, a := range strings.Split(*remote, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			cfg.Remote = append(cfg.Remote, a)
+		}
+	}
+	if *remoteCA != "" {
+		if len(cfg.Remote) == 0 {
+			fmt.Fprintln(os.Stderr, "expd: -remote-ca requires -remote")
+			os.Exit(1)
+		}
+		tlsCfg, err := repro.RemoteTLSConfig(*remoteCA)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "expd:", err)
+			os.Exit(1)
+		}
+		cfg.RemoteTLS = tlsCfg
+	}
+	if err := serveMain(*addr, *storeDir, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "expd:", err)
 		os.Exit(1)
 	}
 }
 
-func serveMain(addr, storeDir string, inflight int64, maxQueue, jobs int, timeout, retryAfter time.Duration) error {
+func serveMain(addr, storeDir string, cfg serve.Config) error {
 	store, err := serve.NewStore(storeDir)
 	if err != nil {
 		return err
 	}
-	srv, err := serve.New(serve.Config{
-		Store:       store,
-		MaxInFlight: inflight,
-		MaxQueue:    maxQueue,
-		Jobs:        jobs,
-		Timeout:     timeout,
-		RetryAfter:  retryAfter,
-	})
+	cfg.Store = store
+	srv, err := serve.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -94,7 +117,11 @@ func serveMain(addr, storeDir string, inflight int64, maxQueue, jobs int, timeou
 	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "expd: serving on %s (store %s)\n", addr, storeDir)
+	if len(cfg.Remote) > 0 {
+		fmt.Fprintf(os.Stderr, "expd: serving on %s (store %s; remote workers %s)\n", addr, storeDir, strings.Join(cfg.Remote, ","))
+	} else {
+		fmt.Fprintf(os.Stderr, "expd: serving on %s (store %s)\n", addr, storeDir)
+	}
 
 	select {
 	case err := <-errc:

@@ -17,11 +17,16 @@
 //
 //	experiments compare [-tol 0.05] [-json] OLD NEW
 //
-// The worker subcommand is the subprocess side of -workers: it speaks the
-// worker protocol over stdin/stdout and is spawned by the orchestrating
-// experiments process, not by hand:
+// The worker subcommand is the worker side of both distributed backends.
+// Bare, it speaks the worker protocol over stdin/stdout — the subprocess
+// -workers spawns, not run by hand. With -listen it accepts orchestrator
+// connections over TCP (optionally TLS with -tls-cert/-tls-key) and serves
+// the same protocol on each; -remote host:port,... on the orchestrating
+// process dispatches the batch to those acceptors instead of spawning
+// subprocesses, with identical output bytes:
 //
 //	experiments worker
+//	experiments worker -listen :9700
 //
 // Examples:
 //
@@ -31,16 +36,19 @@
 //	experiments -run twocoloring-gap -shards 4
 //	experiments -run all -preset quick -jobs 4 -out results/
 //	experiments -run all -preset quick -workers 4 -cache-stats
+//	experiments -run all -preset quick -remote host1:9700,host2:9700 -worker-retry
 //	experiments -preset stress -markdown
 //	experiments compare results-main/ results-branch/
 package main
 
 import (
 	"context"
+	"crypto/tls"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"sort"
@@ -60,9 +68,7 @@ func main() {
 		return
 	}
 	if len(os.Args) > 1 && os.Args[1] == "worker" {
-		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-		defer stop()
-		if err := repro.RunWorker(ctx, os.Stdin, os.Stdout); err != nil {
+		if err := workerMain(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments: worker:", err)
 			os.Exit(1)
 		}
@@ -78,6 +84,9 @@ func main() {
 		jobs       = flag.Int("jobs", 1, "number of tasks to run concurrently in process")
 		workers    = flag.Int("workers", 0, "number of worker subprocesses: tasks are dispatched over the NDJSON worker protocol with instance-affinity grouping (0 = in-process; see docs/DISTRIBUTED.md); results are identical at every count")
 		retry      = flag.Bool("worker-retry", false, "retry a crashed worker's tasks once on a fresh worker before failing the batch")
+		remote     = flag.String("remote", "", "comma-separated host:port addresses of `experiments worker -listen` acceptors: tasks are dispatched over TCP instead of to subprocesses; results are identical to every other backend")
+		remoteCA   = flag.String("remote-ca", "", "verify TLS worker connections against this CA (or self-signed worker certificate) PEM file (requires -remote)")
+		remoteRead = flag.Duration("remote-read-timeout", 0, "max silence on a remote worker connection before its slot fails labeled (0 = unbounded; see docs/DISTRIBUTED.md)")
 		parallel   = flag.Int("parallel", 1, "simulator worker count (-1 = GOMAXPROCS)")
 		shards     = flag.Int("shards", 0, "simulator shard count: partition each simulated tree into contiguous node-range shards (0/1 = unsharded, -1 = GOMAXPROCS); results are identical at every count")
 		seed       = flag.Uint64("seed", 0, "override the experiments' default ID seeds (0 = defaults)")
@@ -96,6 +105,7 @@ func main() {
 		list: *list, run: *run, preset: *preset,
 		jsonOut: *jsonOut, ndjson: *ndjson, markdown: *markdown,
 		jobs: *jobs, workers: *workers, workerRetry: *retry,
+		remote: *remote, remoteCA: *remoteCA, remoteRead: *remoteRead,
 		parallel: *parallel, shards: *shards, seed: *seed,
 		timeout: *timeout, out: *out, cacheStats: *cacheStats,
 	})
@@ -109,9 +119,10 @@ type options struct {
 	list, jsonOut, ndjson, markdown, cacheStats bool
 	workerRetry                                 bool
 	run, preset, out                            string
+	remote, remoteCA                            string
 	jobs, workers, parallel, shards             int
 	seed                                        uint64
-	timeout                                     time.Duration
+	timeout, remoteRead                         time.Duration
 }
 
 func mainE(ctx context.Context, opts options) error {
@@ -123,6 +134,25 @@ func mainE(ctx context.Context, opts options) error {
 	}
 	if opts.jobs > 1 && opts.workers > 0 {
 		return fmt.Errorf("-jobs and -workers select different backends (in-process pool vs worker subprocesses); pick one")
+	}
+	var remotes []string
+	if opts.remote != "" {
+		if opts.workers > 0 {
+			return fmt.Errorf("-workers and -remote select different backends (worker subprocesses vs TCP workers); pick one")
+		}
+		if opts.jobs > 1 {
+			return fmt.Errorf("-jobs and -remote select different backends (in-process pool vs TCP workers); pick one")
+		}
+		for _, addr := range strings.Split(opts.remote, ",") {
+			if addr = strings.TrimSpace(addr); addr != "" {
+				remotes = append(remotes, addr)
+			}
+		}
+		if len(remotes) == 0 {
+			return fmt.Errorf("-remote selected no worker addresses")
+		}
+	} else if opts.remoteCA != "" {
+		return fmt.Errorf("-remote-ca requires -remote")
 	}
 	exps, err := selectExperiments(opts.run)
 	if err != nil {
@@ -138,23 +168,33 @@ func mainE(ctx context.Context, opts options) error {
 		defer cancel()
 	}
 	batch := repro.BatchOptions{
-		Jobs:        opts.jobs,
-		Workers:     opts.workers,
-		WorkerRetry: opts.workerRetry,
-		Config:      repro.RunConfig{Preset: opts.preset, Seed: opts.seed, Parallelism: opts.parallel, Shards: opts.shards},
+		Jobs:              opts.jobs,
+		Workers:           opts.workers,
+		WorkerRetry:       opts.workerRetry,
+		Remote:            remotes,
+		RemoteReadTimeout: opts.remoteRead,
+		Config:            repro.RunConfig{Preset: opts.preset, Seed: opts.seed, Parallelism: opts.parallel, Shards: opts.shards},
+	}
+	if opts.remoteCA != "" {
+		tlsCfg, err := repro.RemoteTLSConfig(opts.remoteCA)
+		if err != nil {
+			return err
+		}
+		batch.RemoteTLS = tlsCfg
 	}
 	if opts.ndjson {
 		batch.Stream = os.Stdout
 	}
+	usesWorkers := opts.workers > 0 || len(remotes) > 0
 	var workerStats []repro.WorkerStats
-	if opts.workers > 0 && opts.cacheStats {
-		// With subprocess workers the orchestrator's own cache sits idle;
-		// collect each worker's shutdown snapshot instead.
+	if usesWorkers && opts.cacheStats {
+		// With subprocess or remote workers the orchestrator's own cache
+		// sits idle; collect each worker's shutdown snapshot instead.
 		batch.OnWorkerStats = func(ws repro.WorkerStats) { workerStats = append(workerStats, ws) }
 	}
 	results, err := repro.RunBatch(ctx, exps, batch)
 	if opts.cacheStats {
-		if opts.workers > 0 {
+		if usesWorkers {
 			printWorkerStats(workerStats)
 		} else {
 			printCacheStats()
@@ -189,6 +229,57 @@ func mainE(ctx context.Context, opts options) error {
 		}
 	}
 	return nil
+}
+
+// workerMain implements `experiments worker [-listen addr]`. Without
+// -listen it speaks the worker protocol over stdin/stdout — the subprocess
+// side of -workers, spawned by the orchestrating experiments process. With
+// -listen it becomes a TCP worker acceptor: it binds addr, announces the
+// bound address on stdout as "listening host:port", and serves one worker
+// session per connection until interrupted — the remote side of -remote.
+func workerMain(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	listen := fs.String("listen", "", "accept orchestrator connections on this TCP address (e.g. :9700) instead of speaking over stdin/stdout")
+	tlsCert := fs.String("tls-cert", "", "serve TLS with this certificate file (requires -listen and -tls-key)")
+	tlsKey := fs.String("tls-key", "", "serve TLS with this key file (requires -listen and -tls-cert)")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: experiments worker [-listen addr [-tls-cert CERT -tls-key KEY]]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if (*tlsCert != "") != (*tlsKey != "") {
+		return fmt.Errorf("-tls-cert and -tls-key go together")
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *listen == "" {
+		if *tlsCert != "" {
+			return fmt.Errorf("-tls-cert/-tls-key require -listen")
+		}
+		return repro.RunWorker(ctx, os.Stdin, os.Stdout)
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	if *tlsCert != "" {
+		cfg, err := repro.WorkerTLSConfig(*tlsCert, *tlsKey)
+		if err != nil {
+			_ = l.Close()
+			return err
+		}
+		l = tls.NewListener(l, cfg)
+	}
+	// The banner is machine-parseable (scripts bind :0 and read the port)
+	// and the only thing this mode ever writes to stdout.
+	fmt.Printf("listening %s\n", l.Addr())
+	return repro.ServeWorker(ctx, l)
 }
 
 // compareMain implements `experiments compare [-tol T] [-json] OLD NEW`:
@@ -269,10 +360,14 @@ func printCacheStats() {
 func printWorkerStats(stats []repro.WorkerStats) {
 	sort.Slice(stats, func(i, j int) bool { return stats[i].Worker < stats[j].Worker })
 	for _, ws := range stats {
+		who := fmt.Sprintf("worker %d", ws.Worker)
+		if ws.Addr != "" {
+			who = "worker " + ws.Addr
+		}
 		s := ws.Cache
 		fmt.Fprintf(os.Stderr,
-			"worker %d: %d tasks; instance cache: %d hits, %d misses (%d builds), %.1fms building, %d entries / %d nodes cached\n",
-			ws.Worker, ws.Tasks, s.Hits, s.Misses, s.Builds,
+			"%s: %d tasks; instance cache: %d hits, %d misses (%d builds), %.1fms building, %d entries / %d nodes cached\n",
+			who, ws.Tasks, s.Hits, s.Misses, s.Builds,
 			float64(s.BuildTime.Microseconds())/1000, s.Entries, s.Nodes)
 	}
 }

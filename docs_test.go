@@ -57,6 +57,28 @@ func TestDistributedDocCoversFrames(t *testing.T) {
 			t.Errorf("docs/DISTRIBUTED.md has no JSON example of the %q frame", frame)
 		}
 	}
+	// The doc also specifies the transport layer under the frames: both
+	// transports' user-facing switches and the TCP policies an operator
+	// relies on (handshake gate, redial/late-join, deadlines, TLS) must
+	// stay documented as the implementation evolves.
+	for _, term := range []string{
+		"`exp.Transport`",
+		"-workers",
+		"-remote",
+		"-listen",
+		"-worker-retry",
+		"-remote-read-timeout",
+		"backoff",
+		"late-join",
+		"half-close",
+		"keepalive",
+		"TLS",
+		"`exp.ServeWorker`",
+	} {
+		if !strings.Contains(doc, term) {
+			t.Errorf("docs/DISTRIBUTED.md never mentions %s", term)
+		}
+	}
 }
 
 // TestDocLinksResolve fails on any intra-repo markdown link whose target

@@ -7,12 +7,21 @@ package exp
 // composite family rebuilds the shared core tree; with it, each core — and
 // every composite built on it — is constructed in exactly one process,
 // which maximizes per-process cache hits and bounds the batch's peak
-// resident memory to roughly one core family per worker. Assignment is a
-// pure function of the canonical task order and the worker count, so the
-// dispatch plan itself is deterministic (and the aggregate would be
-// byte-identical even if it were not, by positional assembly).
+// resident memory to roughly one core family per worker.
+//
+// Groups are dispatched dynamically: worker slots claim the next group from
+// a shared pool as they go idle, which is online least-loaded assignment
+// and — unlike a static partition — also admits workers that join
+// mid-batch (a late-dialed remote claims whatever is still queued). The
+// dispatch plan therefore depends on timing, but the canonical aggregate
+// does not: outputs are assembled positionally, so the bytes are identical
+// whichever worker ran which group.
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+	"sync"
+)
 
 // batchUnit addresses one task inside a batch: experiment position, task
 // position, and the task's global index in canonical order (the protocol
@@ -41,33 +50,135 @@ func affinityKey(u batchUnit, plans []*TaskPlan) string {
 	return fmt.Sprintf("unit:%d", u.id)
 }
 
-// assignAffinity partitions units across `workers` queues: units are walked
-// in canonical order, each distinct affinity key becomes a group pinned to
-// one worker, and each new group goes to the currently least-loaded worker
-// (ties break toward the lowest index). The result is deterministic —
-// identical inputs always produce identical queues — and every unit of one
-// group lands on one worker, in canonical order within its queue.
-func assignAffinity(units []batchUnit, plans []*TaskPlan, workers int) [][]batchUnit {
-	if workers < 1 {
-		workers = 1
-	}
-	queues := make([][]batchUnit, workers)
-	load := make([]int, workers)
-	groupOf := make(map[string]int)
+// affinityGroups partitions units into affinity groups, ordered by each
+// group's first appearance in canonical task order, with each group's units
+// in canonical order. Deterministic: identical inputs always produce
+// identical groups.
+func affinityGroups(units []batchUnit, plans []*TaskPlan) [][]batchUnit {
+	var groups [][]batchUnit
+	idx := make(map[string]int)
 	for _, u := range units {
 		key := affinityKey(u, plans)
-		w, ok := groupOf[key]
+		g, ok := idx[key]
 		if !ok {
-			w = 0
-			for i := 1; i < workers; i++ {
-				if load[i] < load[w] {
-					w = i
-				}
-			}
-			groupOf[key] = w
+			g = len(groups)
+			groups = append(groups, nil)
+			idx[key] = g
 		}
-		queues[w] = append(queues[w], u)
-		load[w]++
+		groups[g] = append(groups[g], u)
 	}
-	return queues
+	return groups
+}
+
+// groupEntry is one affinity group in flight: its remaining units plus the
+// single-retry latch. When a session drops mid-group, the undelivered
+// suffix is requeued exactly once; a second interruption of the same group
+// fails the batch (matching the historical one-respawn-per-slot policy).
+type groupEntry struct {
+	units   []batchUnit
+	retried bool
+}
+
+// groupPool is the shared dispatch queue worker slots claim groups from.
+// Entries leave the pool in order; a requeued entry returns to the front so
+// interrupted work is picked up before fresh groups. The pool is drained
+// when the queue is empty and no claimed entry is still outstanding —
+// idle slots block in claim until then, because an outstanding entry may
+// yet be requeued and need a runner.
+type groupPool struct {
+	mu          sync.Mutex
+	queue       []*groupEntry
+	outstanding int
+	notify      chan struct{} // closed and replaced on every requeue
+	drained     chan struct{} // closed when queue empty and nothing outstanding
+}
+
+func newGroupPool(groups [][]batchUnit) *groupPool {
+	p := &groupPool{
+		notify:  make(chan struct{}),
+		drained: make(chan struct{}),
+	}
+	for _, g := range groups {
+		p.queue = append(p.queue, &groupEntry{units: g})
+	}
+	if len(p.queue) == 0 {
+		close(p.drained)
+	}
+	return p
+}
+
+func (p *groupPool) closeDrainedLocked() {
+	select {
+	case <-p.drained:
+	default:
+		close(p.drained)
+	}
+}
+
+// claim blocks until an entry is available and returns it, or returns nil
+// when the pool drains or ctx is canceled. The caller must hand the entry
+// back through finish or requeue.
+func (p *groupPool) claim(ctx context.Context) *groupEntry {
+	for {
+		p.mu.Lock()
+		if len(p.queue) > 0 {
+			e := p.queue[0]
+			p.queue = p.queue[1:]
+			p.outstanding++
+			p.mu.Unlock()
+			return e
+		}
+		if p.outstanding == 0 {
+			p.closeDrainedLocked()
+			p.mu.Unlock()
+			return nil
+		}
+		notify := p.notify
+		p.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-p.drained:
+			return nil
+		case <-notify:
+		}
+	}
+}
+
+// finish returns a claimed entry as complete.
+func (p *groupPool) finish() {
+	p.mu.Lock()
+	p.outstanding--
+	if p.outstanding == 0 && len(p.queue) == 0 {
+		p.closeDrainedLocked()
+	}
+	p.mu.Unlock()
+}
+
+// requeue hands a claimed entry back with its undelivered suffix after a
+// session drop. It reports whether the remaining work is safe: true when
+// the suffix was requeued (or nothing remains), false when the group
+// already used its one retry — the caller must fail the batch.
+func (p *groupPool) requeue(e *groupEntry, remaining []batchUnit) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.outstanding--
+	if len(remaining) == 0 {
+		if p.outstanding == 0 && len(p.queue) == 0 {
+			p.closeDrainedLocked()
+		}
+		return true
+	}
+	if e.retried {
+		if p.outstanding == 0 && len(p.queue) == 0 {
+			p.closeDrainedLocked()
+		}
+		return false
+	}
+	e.retried = true
+	e.units = remaining
+	p.queue = append([]*groupEntry{e}, p.queue...)
+	close(p.notify)
+	p.notify = make(chan struct{})
+	return true
 }

@@ -1,0 +1,335 @@
+package exp
+
+// The fault-injection harness: a flaky net.Conn proxy between the
+// orchestrator and a real in-process TCP worker. The proxy forwards the
+// orchestrator→worker direction untouched and shapes the worker→orchestrator
+// byte stream on a deterministic per-connection schedule — forward N full
+// frames, then M bytes of the next frame, then stall / reset / close /
+// keep forwarding with per-frame delays. Each test pins one injected fault
+// to either a successful recovery through the retry path or a failure with
+// the right label: no hangs, no unlabeled errors.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// faultAction is what the proxy does to the worker→orchestrator stream
+// after the planned prefix has been forwarded.
+type faultAction int
+
+const (
+	// faultForwardAll forwards everything faithfully until the backend
+	// closes (per-frame delay still applies) — the healthy connection, and
+	// the shape of every retry connection.
+	faultForwardAll faultAction = iota
+	// faultStall forwards nothing more but keeps the connection open: a
+	// peer that is alive and silent.
+	faultStall
+	// faultReset drops the connection with an RST (SO_LINGER 0): the shape
+	// of a worker machine dying mid-frame.
+	faultReset
+	// faultClose half-delivers and then closes cleanly (FIN): a truncated
+	// write followed by an orderly shutdown.
+	faultClose
+)
+
+// connPlan schedules one proxied connection's faults.
+type connPlan struct {
+	// lines is the number of complete worker frames to forward before the
+	// action (the hello frame is line 1). Ignored by faultForwardAll.
+	lines int
+	// extra is how many bytes of the following frame to leak through
+	// before the action — a mid-frame cut. With extra == 0 the proxy still
+	// waits for the frame's first byte to exist before acting, so the
+	// action deterministically lands mid-task rather than racing dispatch.
+	extra int
+	// action is the fault to inject.
+	action faultAction
+	// delay sleeps before forwarding each frame (faultForwardAll only).
+	delay time.Duration
+}
+
+// flakyProxy is the in-test proxy. Connection i gets plans[i]; connections
+// past the end of plans get the last plan (so a single trailing
+// faultForwardAll covers every retry).
+type flakyProxy struct {
+	t       *testing.T
+	l       net.Listener
+	backend string
+	plans   []connPlan
+	accepts atomic.Int32
+	done    chan struct{} // closed at cleanup; releases stalled conns
+}
+
+func newFlakyProxy(t *testing.T, backend string, plans ...connPlan) *flakyProxy {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &flakyProxy{t: t, l: l, backend: backend, plans: plans, done: make(chan struct{})}
+	t.Cleanup(func() {
+		close(p.done)
+		_ = l.Close()
+	})
+	go p.acceptLoop()
+	return p
+}
+
+func (p *flakyProxy) Addr() string { return p.l.Addr().String() }
+
+func (p *flakyProxy) acceptLoop() {
+	for i := 0; ; i++ {
+		client, err := p.l.Accept()
+		if err != nil {
+			return
+		}
+		p.accepts.Add(1)
+		plan := p.plans[len(p.plans)-1]
+		if i < len(p.plans) {
+			plan = p.plans[i]
+		}
+		go p.serve(client, plan)
+	}
+}
+
+func (p *flakyProxy) serve(client net.Conn, plan connPlan) {
+	backend, err := net.Dial("tcp", p.backend)
+	if err != nil {
+		_ = client.Close()
+		return
+	}
+	defer func() {
+		_ = backend.Close()
+		_ = client.Close()
+	}()
+	// The orchestrator→worker direction always flows; an orchestrator
+	// half-close (end of tasks) propagates as a backend half-close so the
+	// worker sees EOF and answers with its stats frame.
+	go func() {
+		_, cerr := io.Copy(backend, client)
+		if cerr == nil {
+			if tc, ok := backend.(*net.TCPConn); ok {
+				_ = tc.CloseWrite()
+			}
+		} else {
+			_ = backend.Close()
+		}
+	}()
+	br := bufio.NewReader(backend)
+	for n := 0; plan.action == faultForwardAll || n < plan.lines; n++ {
+		line, rerr := br.ReadBytes('\n')
+		if len(line) > 0 {
+			if plan.delay > 0 {
+				time.Sleep(plan.delay)
+			}
+			if _, werr := client.Write(line); werr != nil {
+				return
+			}
+		}
+		if rerr != nil {
+			return // backend ended; the deferred closes mirror it
+		}
+	}
+	// Leak the planned mid-frame prefix; with extra == 0 still wait for
+	// the next frame's first byte so the cut lands mid-task.
+	if plan.extra > 0 {
+		buf := make([]byte, plan.extra)
+		if n, _ := io.ReadFull(br, buf); n > 0 {
+			if _, werr := client.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+	} else if _, perr := br.Peek(1); perr != nil {
+		return
+	}
+	switch plan.action {
+	case faultStall:
+		<-p.done
+	case faultReset:
+		if tc, ok := client.(*net.TCPConn); ok {
+			_ = tc.SetLinger(0)
+		}
+	case faultClose:
+		// The deferred clean close is the fault.
+	}
+}
+
+// faultBatch runs exps through a proxy built over a fresh in-process worker
+// with the given per-connection plans.
+func faultBatch(t *testing.T, names []string, retry bool, readTimeout time.Duration, plans ...connPlan) ([]*Result, error, *flakyProxy) {
+	t.Helper()
+	proxy := newFlakyProxy(t, startInprocWorker(t), plans...)
+	results, err := RunBatch(context.Background(), lookupAll(t, names), BatchOptions{
+		Remote:            []string{proxy.Addr()},
+		RemoteReadTimeout: readTimeout,
+		WorkerRetry:       retry,
+		Config:            RunConfig{Preset: PresetQuick},
+	})
+	return results, err, proxy
+}
+
+// TestFaultStalledHandshake: a peer that accepts the connection but never
+// produces a hello frame is aborted by the handshake watchdog with a
+// labeled permanent error — and WorkerRetry must not buy it a second dial.
+func TestFaultStalledHandshake(t *testing.T) {
+	saved := handshakeTimeout
+	handshakeTimeout = 300 * time.Millisecond
+	defer func() { handshakeTimeout = saved }()
+
+	started := time.Now()
+	_, err, proxy := faultBatch(t, []string{"test-proc-noop"}, true, 0,
+		connPlan{lines: 0, action: faultStall})
+	if err == nil || !strings.Contains(err.Error(), "no hello frame within") {
+		t.Fatalf("err = %v, want the handshake-watchdog label", err)
+	}
+	if !isPermanent(err) {
+		t.Fatalf("stalled handshake lost its permanent marker: %v", err)
+	}
+	if n := proxy.accepts.Load(); n != 1 {
+		t.Fatalf("stalled peer was dialed %d times, want exactly 1", n)
+	}
+	if time.Since(started) > 5*time.Second {
+		t.Fatal("stalled handshake was not bounded")
+	}
+}
+
+// TestFaultStallAfterHello: a worker that greets and then goes silent
+// mid-task is bounded by the opt-in read deadline and fails labeled with
+// the in-flight task instead of hanging the batch.
+func TestFaultStallAfterHello(t *testing.T) {
+	started := time.Now()
+	_, err, _ := faultBatch(t, []string{"test-proc-noop"}, false, 300*time.Millisecond,
+		connPlan{lines: 1, action: faultStall})
+	if err == nil || !strings.Contains(err.Error(), "reading frames during task") {
+		t.Fatalf("err = %v, want a read failure labeled with the in-flight task", err)
+	}
+	if !strings.Contains(err.Error(), "timeout") {
+		t.Fatalf("err = %v, want the read-deadline timeout as the cause", err)
+	}
+	if time.Since(started) > 5*time.Second {
+		t.Fatal("stall after hello was not bounded by the read deadline")
+	}
+}
+
+// TestFaultWorkerKilledMidTask: the connection is reset before any result
+// byte arrives — the shape of a worker machine dying mid-task. With
+// WorkerRetry the interrupted group reruns on a fresh connection and the
+// batch's canonical bytes still match the serial run exactly.
+func TestFaultWorkerKilledMidTask(t *testing.T) {
+	serial, err := RunBatch(context.Background(), lookupAll(t, []string{"test-proc-noop"}),
+		BatchOptions{Jobs: 1, Config: RunConfig{Preset: PresetQuick}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err, proxy := faultBatch(t, []string{"test-proc-noop"}, true, 0,
+		connPlan{lines: 1, action: faultReset},
+		connPlan{action: faultForwardAll})
+	if err != nil {
+		t.Fatalf("retry did not recover the reset connection: %v", err)
+	}
+	if want, got := canonicalJSON(t, serial), canonicalJSON(t, results); !bytes.Equal(want, got) {
+		t.Fatalf("recovered batch diverged from serial:\n%s\nvs\n%s", want, got)
+	}
+	if n := proxy.accepts.Load(); n != 2 {
+		t.Fatalf("proxy saw %d connections, want 2 (original + retry)", n)
+	}
+}
+
+// TestFaultResetDuringResult: the reset lands mid-frame — ten bytes of the
+// first result leak through before the RST. The half-received frame is
+// discarded with the dropped connection and the retry rerun still produces
+// serial-identical bytes.
+func TestFaultResetDuringResult(t *testing.T) {
+	serial, err := RunBatch(context.Background(), lookupAll(t, []string{"test-proc-noop"}),
+		BatchOptions{Jobs: 1, Config: RunConfig{Preset: PresetQuick}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err, proxy := faultBatch(t, []string{"test-proc-noop"}, true, 0,
+		connPlan{lines: 1, extra: 10, action: faultReset},
+		connPlan{action: faultForwardAll})
+	if err != nil {
+		t.Fatalf("retry did not recover the mid-frame reset: %v", err)
+	}
+	if want, got := canonicalJSON(t, serial), canonicalJSON(t, results); !bytes.Equal(want, got) {
+		t.Fatalf("recovered batch diverged from serial:\n%s\nvs\n%s", want, got)
+	}
+	if n := proxy.accepts.Load(); n != 2 {
+		t.Fatalf("proxy saw %d connections, want 2 (original + retry)", n)
+	}
+}
+
+// TestFaultResetWithoutRetryFailsLabeled: the same mid-task reset without
+// WorkerRetry fails the batch promptly, labeled with the in-flight task.
+func TestFaultResetWithoutRetryFailsLabeled(t *testing.T) {
+	started := time.Now()
+	_, err, _ := faultBatch(t, []string{"test-proc-noop"}, false, 0,
+		connPlan{lines: 1, action: faultReset})
+	if err == nil || !strings.Contains(err.Error(), "during task") {
+		t.Fatalf("err = %v, want a labeled connection failure", err)
+	}
+	if time.Since(started) > 5*time.Second {
+		t.Fatal("reset without retry was not prompt")
+	}
+}
+
+// TestFaultTruncatedWrite: a half-written frame followed by an orderly
+// close is a dropped connection, not a parseable frame — the torn prefix is
+// discarded, the failure is labeled with the in-flight task, and with
+// WorkerRetry the interrupted group recovers on a fresh connection.
+func TestFaultTruncatedWrite(t *testing.T) {
+	t.Run("labeled without retry", func(t *testing.T) {
+		_, err, _ := faultBatch(t, []string{"test-proc-noop"}, false, 0,
+			connPlan{lines: 1, extra: 5, action: faultClose})
+		if err == nil || !strings.Contains(err.Error(), "closed connection during task") {
+			t.Fatalf("err = %v, want the dropped connection labeled with the task", err)
+		}
+	})
+	t.Run("recovered with retry", func(t *testing.T) {
+		serial, err := RunBatch(context.Background(), lookupAll(t, []string{"test-proc-noop"}),
+			BatchOptions{Jobs: 1, Config: RunConfig{Preset: PresetQuick}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err, proxy := faultBatch(t, []string{"test-proc-noop"}, true, 0,
+			connPlan{lines: 1, extra: 5, action: faultClose},
+			connPlan{action: faultForwardAll})
+		if err != nil {
+			t.Fatalf("retry did not recover the truncated write: %v", err)
+		}
+		if want, got := canonicalJSON(t, serial), canonicalJSON(t, results); !bytes.Equal(want, got) {
+			t.Fatalf("recovered batch diverged from serial:\n%s\nvs\n%s", want, got)
+		}
+		if n := proxy.accepts.Load(); n != 2 {
+			t.Fatalf("proxy saw %d connections, want 2 (original + retry)", n)
+		}
+	})
+}
+
+// TestFaultDelayedBytesStillByteIdentical: latency is not a fault — a
+// connection that delivers every frame late still completes and the
+// canonical bytes match the serial run.
+func TestFaultDelayedBytesStillByteIdentical(t *testing.T) {
+	serial, err := RunBatch(context.Background(), lookupAll(t, []string{"test-proc-noop"}),
+		BatchOptions{Jobs: 1, Config: RunConfig{Preset: PresetQuick}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err, _ := faultBatch(t, []string{"test-proc-noop"}, false, 0,
+		connPlan{action: faultForwardAll, delay: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("delayed connection failed the batch: %v", err)
+	}
+	if want, got := canonicalJSON(t, serial), canonicalJSON(t, results); !bytes.Equal(want, got) {
+		t.Fatalf("delayed batch diverged from serial:\n%s\nvs\n%s", want, got)
+	}
+}

@@ -1,10 +1,12 @@
 package exp
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"testing"
 )
@@ -81,7 +83,66 @@ func workerHelperMain(mode string) int {
 	case "exit3":
 		// A worker that dies before saying hello.
 		return 3
+	case "listen":
+		// A TCP worker acceptor: the subprocess shape of
+		// `experiments worker -listen`, for tests that need per-connection
+		// process-local instance caches (an in-process listener would share
+		// the orchestrator's). Announces the bound address on stdout.
+		addr := os.Getenv("REPRO_EXP_LISTEN_ADDR")
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		l, err := net.Listen("tcp", addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("listening %s\n", l.Addr())
+		if err := ServeWorker(context.Background(), l); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	case "nostats":
+		// A worker that completes every task faithfully but ends the
+		// session without its stats frame (dropped here) and exits cleanly
+		// — the clean-close-without-stats regression shape.
+		_ = RunWorker(context.Background(), os.Stdin, dropStatsWriter{w: os.Stdout})
+		return 0
+	case "stallstats":
+		// A worker that completes every task but then neither writes its
+		// stats frame nor ends the session — the teardown watchdog's prey.
+		_ = RunWorker(context.Background(), os.Stdin, stallStatsWriter{w: os.Stdout})
+		select {} // never exit on our own
 	}
 	fmt.Fprintf(os.Stderr, "unknown %s=%q\n", workerModeEnv, mode)
 	return 2
+}
+
+// isStatsFrame spots the one stats line a worker writes: json.Encoder hands
+// each frame to Write as a single line, so a substring probe is reliable.
+func isStatsFrame(p []byte) bool {
+	return bytes.Contains(p, []byte(`"type":"`+FrameStats+`"`))
+}
+
+// dropStatsWriter forwards every frame except the stats frame, which it
+// swallows while reporting success to the worker loop.
+type dropStatsWriter struct{ w io.Writer }
+
+func (d dropStatsWriter) Write(p []byte) (int, error) {
+	if isStatsFrame(p) {
+		return len(p), nil
+	}
+	return d.w.Write(p)
+}
+
+// stallStatsWriter forwards every frame except the stats frame, on which it
+// blocks forever — a worker gone silent at shutdown with the session open.
+type stallStatsWriter struct{ w io.Writer }
+
+func (s stallStatsWriter) Write(p []byte) (int, error) {
+	if isStatsFrame(p) {
+		select {}
+	}
+	return s.w.Write(p)
 }

@@ -1,20 +1,23 @@
 package exp
 
 // ProcRunner: the multi-process execution backend behind RunBatch's Workers
-// option. It spawns N worker subprocesses (each running RunWorker via the
-// embedding binary's `worker` subcommand), verifies the protocol version and
-// catalog hash at handshake, dispatches tasks with instance-affinity
-// grouping (affinity.go), and feeds decoded outputs back into the batch
+// and Remote options. Each worker slot is one Transport (transport.go): a
+// subprocess spoken to over its stdin/stdout pipes, or a remote
+// `experiments worker -listen` acceptor dialed over TCP (tcp.go). The
+// protocol driver here is transport-agnostic — it verifies the protocol
+// version, catalog hash, and build fingerprint at handshake, claims
+// instance-affinity groups from a shared pool (affinity.go), dispatches one
+// task frame at a time, and feeds decoded outputs back into the batch
 // state's positional assembly — so the canonical aggregate is byte-identical
-// to the serial in-process run at every worker count. A worker failure
-// (crash, nonzero exit, protocol violation) surfaces as an error labeled
-// with the in-flight task and cancels the rest of the batch; WorkerRetry
-// allows one respawn per worker slot before failing.
+// to the serial in-process run at every worker count on every transport. A
+// worker failure (crash, connection reset, protocol violation) surfaces as
+// an error labeled with the in-flight task and cancels the rest of the
+// batch; WorkerRetry allows the dropped group's remainder one rerun on a
+// fresh session before failing.
 //
-// This is the seam the ROADMAP names for sharding across machines: every
+// This closes the ROADMAP's "transport swap, not a redesign" loop: every
 // interaction with a worker flows through the NDJSON frames of proto.go
-// over an io pipe pair, so replacing the pipe with a socket is a transport
-// swap — nothing above this file changes. See docs/DISTRIBUTED.md.
+// over a WorkerSession byte stream. See docs/DISTRIBUTED.md.
 
 import (
 	"bufio"
@@ -23,14 +26,14 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"os/exec"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/inst"
 )
 
-// WorkerStats is one worker subprocess's shutdown report: how many tasks it
+// WorkerStats is one worker session's shutdown report: how many tasks it
 // ran and its process-local instance-cache counters. Because the dispatcher
 // routes tasks sharing a hierarchical core to one worker, these counters
 // are where affinity shows up: a warm repeat of a composite family inside a
@@ -38,28 +41,43 @@ import (
 type WorkerStats struct {
 	// Worker is the worker slot index (0..Workers-1).
 	Worker int `json:"worker"`
+	// Addr is the remote worker's address for TCP slots; empty for
+	// subprocess slots.
+	Addr string `json:"addr,omitempty"`
 	// Tasks is the number of tasks the worker executed.
 	Tasks int `json:"tasks"`
 	// Cache is the worker process's instance-cache snapshot at shutdown.
 	Cache inst.Stats `json:"cache"`
 }
 
-// handshakeTimeout bounds the wait for a spawned worker's hello frame. A
+// handshakeTimeout bounds the wait for a connected worker's hello frame. A
 // real worker greets in milliseconds; the generous bound only exists so a
-// misconfigured command that never writes fails loudly instead of hanging
-// the batch. A variable so tests can shrink it.
+// misconfigured command (or a socket that is not a worker) that never
+// writes fails loudly instead of hanging the batch. A variable so tests can
+// shrink it.
 var handshakeTimeout = 30 * time.Second
 
-// workerExitTimeout bounds process reaping: a worker that closed its
-// stdout but never exits is killed rather than hanging Wait. Killing a
-// process that already exited is a no-op, so a natural exit's status is
-// never clobbered.
-const workerExitTimeout = 10 * time.Second
+// Dialer admission policy for redialable (TCP) transports: an unreachable
+// address is re-attempted on an exponential backoff schedule for as long as
+// the batch has other live workers — that worker may simply not have been
+// started yet, and it is admitted into the group pool whenever it appears.
+// Only when *no* worker is live does unreachability become fatal, after
+// deadDialAttempts consecutive failures. Variables so tests can shrink
+// them.
+var (
+	dialBackoffMin   = 100 * time.Millisecond
+	dialBackoffMax   = 2 * time.Second
+	deadDialAttempts = 5
+)
 
 // errTaskFailed marks a session that already reported its failure through
-// the batch state (a task-level error frame or an undecodable output);
-// the worker loop must not re-report or retry it.
+// the batch state (a task-level error frame, an undecodable output, or a
+// shutdown-phase violation); the slot loop must not re-report or retry it.
 var errTaskFailed = errors.New("task failed")
+
+// errSlotDone marks a slot whose work ended without incident: the batch was
+// canceled or the pool drained while the slot was dialing or backing off.
+var errSlotDone = errors.New("slot done")
 
 // permanentError marks a worker failure a fresh worker would reproduce
 // deterministically — handshake refusals (version or catalog mismatch) and
@@ -76,22 +94,26 @@ func isPermanent(err error) bool {
 	return errors.As(err, &p)
 }
 
-// ProcRunner executes a batch's tasks in worker subprocesses. It implements
-// the runner interface RunBatch schedules through; BatchOptions.Workers
-// constructs one, and the exported fields mirror the corresponding batch
-// options.
+// ProcRunner executes a batch's tasks in worker sessions. It implements
+// the runner interface RunBatch schedules through; BatchOptions.Workers or
+// BatchOptions.Remote constructs one, and the exported fields mirror the
+// corresponding batch options.
 type ProcRunner struct {
-	// Workers is the number of worker subprocesses (clamped to the task
-	// count; at least 1).
+	// Workers is the number of worker subprocesses (clamped to the affinity
+	// group count; at least 1). Ignored when Transports is non-empty.
 	Workers int
-	// Command is the argv spawning one worker. Empty means the current
-	// executable with the single argument "worker".
+	// Command is the argv spawning one worker subprocess. Empty means the
+	// current executable with the single argument "worker".
 	Command []string
 	// Env is extra environment appended to the inherited environment of
 	// every worker subprocess.
 	Env []string
-	// Retry allows one respawn of a crashed worker's remaining tasks on a
-	// fresh process before the crash fails the batch.
+	// Transports, when non-empty, enumerates the worker slots explicitly —
+	// one slot per transport — instead of spawning subprocess slots from
+	// Workers/Command. This is how remote TCP workers are wired in.
+	Transports []Transport
+	// Retry allows an interrupted affinity group's remaining tasks one
+	// rerun on a fresh worker session before the crash fails the batch.
 	Retry bool
 	// OnStats, when non-nil, receives each worker's shutdown stats. Calls
 	// are serialized.
@@ -101,8 +123,8 @@ type ProcRunner struct {
 }
 
 // runTasks implements the runner interface: group the batch's tasks by
-// instance affinity, run one manager goroutine per worker slot, and wait
-// for every slot to drain or the batch to fail.
+// instance affinity into a shared pool, run one slot goroutine per
+// transport, and wait for every slot to finish or the batch to fail.
 func (p *ProcRunner) runTasks(ctx context.Context, b *batchState) {
 	var units []batchUnit
 	for i, plan := range b.plans {
@@ -117,155 +139,312 @@ func (p *ProcRunner) runTasks(ctx context.Context, b *batchState) {
 	if len(units) == 0 {
 		return
 	}
-	argv := p.Command
-	if len(argv) == 0 {
-		self, err := os.Executable()
-		if err != nil {
-			b.fail(fmt.Errorf("exp: resolving worker executable: %w", err))
-			return
+	groups := affinityGroups(units, b.plans)
+	transports := p.Transports
+	if len(transports) == 0 {
+		argv := p.Command
+		if len(argv) == 0 {
+			self, err := os.Executable()
+			if err != nil {
+				b.fail(fmt.Errorf("exp: resolving worker executable: %w", err))
+				return
+			}
+			argv = []string{self, "worker"}
 		}
-		argv = []string{self, "worker"}
+		workers := p.Workers
+		if workers < 1 {
+			workers = 1
+		}
+		// A group is pinned to one session, so slots beyond the group count
+		// would idle; don't spawn them.
+		if workers > len(groups) {
+			workers = len(groups)
+		}
+		for slot := 0; slot < workers; slot++ {
+			transports = append(transports, &PipeTransport{Slot: slot, Command: argv, Env: p.Env})
+		}
 	}
-	workers := p.Workers
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > len(units) {
-		workers = len(units)
-	}
-	queues := assignAffinity(units, b.plans, workers)
+	pool := newGroupPool(groups)
+	var live atomic.Int32
 	var wg sync.WaitGroup
-	for slot, queue := range queues {
-		if len(queue) == 0 {
-			continue
-		}
+	for slot, t := range transports {
 		wg.Add(1)
-		go func(slot int, queue []batchUnit) {
+		go func(slot int, t Transport) {
 			defer wg.Done()
-			p.runWorker(ctx, slot, queue, argv, b)
-		}(slot, queue)
+			p.runSlot(ctx, slot, t, pool, &live, b)
+		}(slot, t)
 	}
 	wg.Wait()
 }
 
-// runWorker drives one worker slot's queue through worker sessions: one
-// process normally, a second fresh process when Retry is set and the first
-// crashed. Task-level failures are terminal (the task would fail
-// identically on a fresh worker); batch cancellation ends the slot
-// silently — the cancellation's root cause is recorded elsewhere.
-func (p *ProcRunner) runWorker(ctx context.Context, slot int, units []batchUnit, argv []string, b *batchState) {
-	retried := false
+// runSlot drives one worker slot: connect the transport (with backoff for
+// redialable ones), run a session over the group pool, and reconnect after
+// a retryable session drop when Retry is set. A drop that interrupted a
+// claimed group reconnects immediately — the group's own one-retry latch
+// bounds repeats, so total session losses stay finite. A *fruitless* drop
+// (the session died before claiming anything, e.g. at handshake) is capped:
+// a subprocess gets one respawn, a redialable remote is re-dialed on
+// backoff like an unreachable address — patient while other workers are
+// live, fatal after deadDialAttempts consecutive losses once none are.
+// Task-level failures are terminal (the task would fail identically on a
+// fresh worker); batch cancellation ends the slot silently — the
+// cancellation's root cause is recorded elsewhere.
+func (p *ProcRunner) runSlot(ctx context.Context, slot int, t Transport, pool *groupPool, live *atomic.Int32, b *batchState) {
+	fruitless := 0
+	backoff := dialBackoffMin
 	for {
-		done, err := p.session(ctx, slot, units, argv, b)
-		units = units[done:]
-		if err == nil {
+		select {
+		case <-ctx.Done():
+			return
+		case <-pool.drained:
+			return
+		default:
+		}
+		sess, err := p.connect(ctx, t, pool, live)
+		if err != nil {
+			if errors.Is(err, errSlotDone) {
+				return
+			}
+			b.fail(err)
 			return
 		}
-		if errors.Is(err, errTaskFailed) || ctx.Err() != nil {
+		live.Add(1)
+		claimed, err := p.runSession(ctx, slot, t, sess, pool, b)
+		live.Add(-1)
+		if err == nil || errors.Is(err, errTaskFailed) || ctx.Err() != nil {
 			return
 		}
-		if p.Retry && !retried && len(units) > 0 && !isPermanent(err) {
-			retried = true
+		if isPermanent(err) || !p.Retry {
+			b.fail(err)
+			return
+		}
+		if claimed {
+			// The interrupted group is back in the pool (or already used
+			// its retry, which surfaced as permanent above); reconnect.
+			fruitless = 0
+			backoff = dialBackoffMin
 			continue
 		}
-		b.fail(err)
-		return
+		fruitless++
+		if !t.Redialable() {
+			// One respawn for a subprocess that died before doing anything;
+			// a command that cannot even say hello twice is misconfigured.
+			if fruitless > 1 {
+				b.fail(err)
+				return
+			}
+			continue
+		}
+		// A remote that connects but loses the session before claiming
+		// (e.g. its accept backlog outlived the process) behaves like an
+		// unreachable address: back off and re-dial while the batch has
+		// other live workers, fail once it is alone and still losing.
+		if live.Load() == 0 && fruitless >= deadDialAttempts {
+			b.fail(fmt.Errorf("exp: %s: lost %d sessions with no live workers: %w", t.Label(), fruitless, err))
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-pool.drained:
+			return
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > dialBackoffMax {
+			backoff = dialBackoffMax
+		}
 	}
 }
 
-// session runs one worker process over the given units: spawn, handshake,
-// one task frame at a time, then shutdown (stdin EOF → stats frame → clean
-// exit). It returns how many units were delivered and, on failure, an error
-// describing what the worker did — labeled with the in-flight task when one
-// was. errTaskFailed signals a failure already recorded in the batch state.
-func (p *ProcRunner) session(ctx context.Context, slot int, units []batchUnit, argv []string, b *batchState) (delivered int, err error) {
-	cmd := exec.CommandContext(ctx, argv[0], argv[1:]...)
-	cmd.Env = append(os.Environ(), p.Env...)
-	cmd.Stderr = os.Stderr
-	stdin, err := cmd.StdinPipe()
-	if err != nil {
-		return 0, fmt.Errorf("exp: worker %d: stdin pipe: %w", slot, err)
-	}
-	stdout, err := cmd.StdoutPipe()
-	if err != nil {
-		return 0, fmt.Errorf("exp: worker %d: stdout pipe: %w", slot, err)
-	}
-	if err := cmd.Start(); err != nil {
-		return 0, fmt.Errorf("exp: worker %d: spawn %q: %w", slot, argv[0], err)
-	}
-	// exit reaps the process exactly once and describes how it went down;
-	// abort additionally makes sure it is gone first (protocol violations
-	// leave a live process behind).
-	reaped := false
-	exit := func() string {
-		reaped = true
-		t := time.AfterFunc(workerExitTimeout, func() { _ = cmd.Process.Kill() })
-		defer t.Stop()
-		if werr := cmd.Wait(); werr != nil {
-			return werr.Error()
+// connect establishes one session, applying the late-join admission policy
+// to redialable transports: back off and re-dial while other workers are
+// alive (the peer may not have started yet), fail labeled after
+// deadDialAttempts consecutive failures with no live worker, and give up
+// silently when the pool drains or the batch is canceled. A non-redialable
+// transport's connect failure is final.
+func (p *ProcRunner) connect(ctx context.Context, t Transport, pool *groupPool, live *atomic.Int32) (WorkerSession, error) {
+	backoff := dialBackoffMin
+	deadFails := 0
+	for {
+		sess, err := t.Connect(ctx)
+		if err == nil {
+			return sess, nil
 		}
-		return "exited cleanly"
-	}
-	abort := func() {
-		_ = cmd.Process.Kill()
-		if !reaped {
-			_ = cmd.Wait()
-			reaped = true
+		if ctx.Err() != nil {
+			return nil, errSlotDone
+		}
+		if !t.Redialable() {
+			return nil, err
+		}
+		if live.Load() == 0 {
+			deadFails++
+			if deadFails >= deadDialAttempts {
+				return nil, fmt.Errorf("exp: %s: unreachable after %d attempts with no live workers: %w", t.Label(), deadFails, err)
+			}
+		} else {
+			deadFails = 0
+		}
+		select {
+		case <-ctx.Done():
+			return nil, errSlotDone
+		case <-pool.drained:
+			return nil, errSlotDone
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > dialBackoffMax {
+			backoff = dialBackoffMax
 		}
 	}
-	defer func() {
-		_ = stdin.Close()
-		if !reaped {
-			abort()
-		}
-	}()
+}
 
-	sc := newFrameScanner(stdout)
+// runSession drives one worker session: handshake, then claim affinity
+// groups from the pool and run them one task frame at a time, then shutdown
+// (write half-close → stats frame → clean teardown). On a retryable drop
+// mid-group it requeues the group's undelivered suffix and returns the
+// error for the slot to reconnect on; errTaskFailed signals a failure
+// already recorded in the batch state. The claimed result reports whether
+// the session got far enough to claim a group — the slot's retry policy
+// treats a pre-claim loss (a peer that never really came up) differently
+// from a worker lost mid-work.
+func (p *ProcRunner) runSession(ctx context.Context, slot int, t Transport, sess WorkerSession, pool *groupPool, b *batchState) (claimed bool, err error) {
+	defer func() {
+		sess.Abort()
+		sess.Close()
+	}()
+	who := t.Label()
+	sc := newFrameScanner(sess)
 
 	// Handshake: the worker speaks first, and a real worker says hello in
-	// milliseconds — bound the wait so a misconfigured command that never
-	// writes (e.g. a program blocking on stdin) fails the batch with a
-	// labeled error instead of hanging RunBatch forever. The timer kill
-	// forces the blocked Scan to EOF.
-	hsTimer := time.AfterFunc(handshakeTimeout, func() { _ = cmd.Process.Kill() })
+	// milliseconds — bound the wait so a peer that never writes (e.g. a
+	// program blocking on stdin, or a socket that is not a worker) fails
+	// the batch with a labeled error instead of hanging RunBatch forever.
+	// The timer abort forces the blocked Scan to EOF.
+	hsTimer := time.AfterFunc(handshakeTimeout, sess.Abort)
 	scanned := sc.Scan()
 	hsFired := !hsTimer.Stop()
 	if !scanned {
 		if hsFired {
-			return 0, permanent(fmt.Errorf("exp: worker %d: no hello frame within %v (is %q a worker binary?)",
-				slot, handshakeTimeout, argv[0]))
+			return false, permanent(fmt.Errorf("exp: %s: no hello frame within %v (is the peer a worker?)", who, handshakeTimeout))
 		}
 		if serr := sc.Err(); serr != nil {
-			ferr := fmt.Errorf("exp: worker %d: reading hello frame: %w", slot, serr)
+			ferr := fmt.Errorf("exp: %s: reading hello frame: %w", who, serr)
 			if errors.Is(serr, bufio.ErrTooLong) {
-				return 0, permanent(ferr)
+				return false, permanent(ferr)
 			}
-			return 0, ferr
+			return false, ferr
 		}
-		return 0, fmt.Errorf("exp: worker %d: no hello frame (%s)", slot, exit())
+		desc, _ := sess.Close()
+		return false, fmt.Errorf("exp: %s: no hello frame (%s)", who, desc)
 	}
 	// A hello that raced the watchdog at the boundary still counts: if the
-	// timer's kill landed anyway, the first dispatch surfaces it as an
+	// timer's abort landed anyway, the first dispatch surfaces it as an
 	// ordinary (retryable) crash rather than a spurious timeout.
 	var hello HelloFrame
 	if jerr := json.Unmarshal(sc.Bytes(), &hello); jerr != nil || hello.Type != FrameHello {
-		return 0, permanent(fmt.Errorf("exp: worker %d: handshake: expected hello frame, got %q", slot, sc.Bytes()))
+		return false, permanent(fmt.Errorf("exp: %s: handshake: expected hello frame, got %q", who, sc.Bytes()))
 	}
 	if hello.Proto != ProtoVersion {
-		return 0, permanent(fmt.Errorf("exp: worker %d: handshake: protocol version %d, orchestrator speaks %d",
-			slot, hello.Proto, ProtoVersion))
+		return false, permanent(fmt.Errorf("exp: %s: handshake: protocol version %d, orchestrator speaks %d",
+			who, hello.Proto, ProtoVersion))
 	}
 	if want := CatalogHash(); hello.Catalog != want {
-		return 0, permanent(fmt.Errorf("exp: worker %d: handshake: catalog hash mismatch (worker %s, orchestrator %s): orchestrator and worker would plan different tasks",
-			slot, hello.Catalog, want))
+		return false, permanent(fmt.Errorf("exp: %s: handshake: catalog hash mismatch (worker %s, orchestrator %s): orchestrator and worker would plan different tasks",
+			who, hello.Catalog, want))
 	}
 	if want := BuildID(); hello.Build != want {
-		return 0, permanent(fmt.Errorf("exp: worker %d: handshake: build mismatch (worker %s, orchestrator %s): a version-skewed worker would compute stale outputs",
-			slot, hello.Build, want))
+		return false, permanent(fmt.Errorf("exp: %s: handshake: build mismatch (worker %s, orchestrator %s): a version-skewed worker would compute stale outputs",
+			who, hello.Build, want))
 	}
 
-	enc := json.NewEncoder(stdin)
-	for _, u := range units {
+	enc := json.NewEncoder(sess)
+	for {
+		entry := pool.claim(ctx)
+		if entry == nil {
+			break
+		}
+		claimed = true
+		delivered, err := p.runEntry(ctx, who, entry, enc, sc, sess, b)
+		if err != nil {
+			if errors.Is(err, errTaskFailed) || ctx.Err() != nil {
+				pool.finish()
+				return claimed, err
+			}
+			if p.Retry && !isPermanent(err) {
+				if pool.requeue(entry, entry.units[delivered:]) {
+					return claimed, err // slot reconnects; the work is safe in the pool
+				}
+				return claimed, permanent(fmt.Errorf("%w (group already retried once)", err))
+			}
+			pool.finish()
+			return claimed, err
+		}
+		pool.finish()
+	}
+	if ctx.Err() != nil {
+		return claimed, ctx.Err()
+	}
+
+	// Shutdown: half-closing the write side asks the worker to emit its
+	// stats frame and end the session cleanly. The stats frame is
+	// mandatory, and an unclean ending after the last task still fails the
+	// batch — a worker that corrupted itself may have corrupted outputs.
+	// Shutdown violations are recorded in the batch state directly (never
+	// retried: every task is already delivered, so a fresh session could
+	// not re-earn the missing stats).
+	if cerr := sess.CloseWrite(); cerr != nil {
+		b.fail(fmt.Errorf("exp: %s: closing task stream: %w", who, cerr))
+		return claimed, errTaskFailed
+	}
+	// Like the handshake, the stats read is bounded: a worker that ignores
+	// the half-close and never writes again would otherwise hang the batch
+	// with every task already delivered.
+	stTimer := time.AfterFunc(teardownTimeout, sess.Abort)
+	gotStats := sc.Scan()
+	stFired := !stTimer.Stop()
+	if !gotStats {
+		if stFired {
+			b.fail(permanent(fmt.Errorf("exp: %s: no stats frame within %v of shutdown", who, teardownTimeout)))
+			return claimed, errTaskFailed
+		}
+		if serr := sc.Err(); serr != nil {
+			b.fail(fmt.Errorf("exp: %s: reading stats frame: %w", who, serr))
+			return claimed, errTaskFailed
+		}
+		desc, _ := sess.Close()
+		b.fail(fmt.Errorf("exp: %s: %s without a stats frame", who, desc))
+		return claimed, errTaskFailed
+	}
+	var stats StatsFrame
+	if jerr := json.Unmarshal(sc.Bytes(), &stats); jerr != nil || stats.Type != FrameStats {
+		b.fail(permanent(fmt.Errorf("exp: %s: expected stats frame at shutdown, got %q", who, sc.Bytes())))
+		return claimed, errTaskFailed
+	}
+	// The stats frame arrived; the only unclean ending to tolerate is our
+	// own watchdog's abort racing a frame that did make it out.
+	if desc, clean := sess.Close(); !clean && !stFired {
+		b.fail(fmt.Errorf("exp: %s: %s after its last task", who, desc))
+		return claimed, errTaskFailed
+	}
+	if p.OnStats != nil {
+		ws := WorkerStats{Worker: slot, Tasks: stats.Tasks, Cache: stats.Cache}
+		if tt, ok := t.(*TCPTransport); ok {
+			ws.Addr = tt.Addr
+		}
+		p.statsMu.Lock()
+		p.OnStats(ws)
+		p.statsMu.Unlock()
+	}
+	return claimed, nil
+}
+
+// runEntry runs one affinity group's units over the session, one task frame
+// at a time, and reports how many were delivered. On failure the error
+// describes what the worker did, labeled with the in-flight task;
+// errTaskFailed signals a failure already recorded in the batch state.
+func (p *ProcRunner) runEntry(ctx context.Context, who string, entry *groupEntry, enc *json.Encoder, sc *bufio.Scanner, sess WorkerSession, b *batchState) (delivered int, err error) {
+	for _, u := range entry.units {
 		if ctx.Err() != nil {
 			return delivered, ctx.Err()
 		}
@@ -282,38 +461,40 @@ func (p *ProcRunner) session(ctx context.Context, slot int, units []batchUnit, a
 			Config:     b.cfg,
 			Index:      u.task,
 		}); serr != nil {
-			return delivered, fmt.Errorf("exp: worker %d: %s while dispatching task %q", slot, exit(), label)
+			desc, _ := sess.Close()
+			return delivered, fmt.Errorf("exp: %s: %s while dispatching task %q", who, desc, label)
 		}
 		if !sc.Scan() {
 			if serr := sc.Err(); serr != nil {
-				ferr := fmt.Errorf("exp: worker %d: reading frames during task %q: %w", slot, label, serr)
+				ferr := fmt.Errorf("exp: %s: reading frames during task %q: %w", who, label, serr)
 				if errors.Is(serr, bufio.ErrTooLong) {
 					// An oversized frame reproduces on a fresh worker;
-					// other read errors may be transient and stay
-					// retryable.
+					// other read errors (resets, timeouts) may be transient
+					// and stay retryable.
 					return delivered, permanent(ferr)
 				}
 				return delivered, ferr
 			}
-			return delivered, fmt.Errorf("exp: worker %d: %s during task %q", slot, exit(), label)
+			desc, _ := sess.Close()
+			return delivered, fmt.Errorf("exp: %s: %s during task %q", who, desc, label)
 		}
 		line := sc.Bytes()
 		kind, ferr := frameType(line)
 		if ferr != nil {
-			return delivered, permanent(fmt.Errorf("exp: worker %d: %w during task %q", slot, ferr, label))
+			return delivered, permanent(fmt.Errorf("exp: %s: %w during task %q", who, ferr, label))
 		}
 		switch kind {
 		case FrameResult:
 			var rf ResultFrame
 			if jerr := json.Unmarshal(line, &rf); jerr != nil {
-				return delivered, permanent(fmt.Errorf("exp: worker %d: malformed result frame during task %q: %w", slot, label, jerr))
+				return delivered, permanent(fmt.Errorf("exp: %s: malformed result frame during task %q: %w", who, label, jerr))
 			}
 			if rf.ID != u.id {
-				return delivered, permanent(fmt.Errorf("exp: worker %d: result frame for task %d, expected %d (%q)", slot, rf.ID, u.id, label))
+				return delivered, permanent(fmt.Errorf("exp: %s: result frame for task %d, expected %d (%q)", who, rf.ID, u.id, label))
 			}
 			out, derr := b.plans[u.exp].Decode(rf.Output)
 			if derr != nil {
-				b.fail(fmt.Errorf("exp: worker %d: task %q: %w", slot, label, derr))
+				b.fail(fmt.Errorf("exp: %s: task %q: %w", who, label, derr))
 				return delivered, errTaskFailed
 			}
 			b.deliver(u.exp, u.task, out)
@@ -321,10 +502,10 @@ func (p *ProcRunner) session(ctx context.Context, slot int, units []batchUnit, a
 		case FrameError:
 			var ef ErrorFrame
 			if jerr := json.Unmarshal(line, &ef); jerr != nil {
-				return delivered, permanent(fmt.Errorf("exp: worker %d: malformed error frame during task %q: %w", slot, label, jerr))
+				return delivered, permanent(fmt.Errorf("exp: %s: malformed error frame during task %q: %w", who, label, jerr))
 			}
 			if ef.ID != u.id {
-				return delivered, permanent(fmt.Errorf("exp: worker %d: error frame for task %d, expected %d (%q)", slot, ef.ID, u.id, label))
+				return delivered, permanent(fmt.Errorf("exp: %s: error frame for task %d, expected %d (%q)", who, ef.ID, u.id, label))
 			}
 			if ef.Canceled && ctx.Err() != nil {
 				// The worker observed the batch's own cancellation (the
@@ -334,50 +515,14 @@ func (p *ProcRunner) session(ctx context.Context, slot int, units []batchUnit, a
 				// frame while the batch is healthy is a task failing on
 				// its own internal deadline — a real failure whose
 				// message must survive.
-				b.fail(fmt.Errorf("exp: worker %d: task %q: %w", slot, label, context.Canceled))
+				b.fail(fmt.Errorf("exp: %s: task %q: %w", who, label, context.Canceled))
 			} else {
-				b.fail(fmt.Errorf("exp: worker %d: task %q: %s", slot, label, ef.Error))
+				b.fail(fmt.Errorf("exp: %s: task %q: %s", who, label, ef.Error))
 			}
 			return delivered, errTaskFailed
 		default:
-			return delivered, permanent(fmt.Errorf("exp: worker %d: unexpected %q frame during task %q", slot, kind, label))
+			return delivered, permanent(fmt.Errorf("exp: %s: unexpected %q frame during task %q", who, kind, label))
 		}
-	}
-
-	// Shutdown: closing stdin asks the worker to emit its stats frame and
-	// exit cleanly. The stats frame is mandatory, and a nonzero exit after
-	// the last task still fails the batch — a worker that corrupted itself
-	// may have corrupted outputs.
-	_ = stdin.Close()
-	// Like the handshake, the stats read is bounded: a worker that ignores
-	// stdin EOF and never writes again would otherwise hang the batch with
-	// every task already delivered.
-	stTimer := time.AfterFunc(workerExitTimeout, func() { _ = cmd.Process.Kill() })
-	gotStats := sc.Scan()
-	stFired := !stTimer.Stop()
-	if !gotStats {
-		if stFired {
-			return delivered, permanent(fmt.Errorf("exp: worker %d: no stats frame within %v of shutdown", slot, workerExitTimeout))
-		}
-		if serr := sc.Err(); serr != nil {
-			return delivered, fmt.Errorf("exp: worker %d: reading stats frame: %w", slot, serr)
-		}
-		return delivered, fmt.Errorf("exp: worker %d: %s without a stats frame", slot, exit())
-	}
-	var stats StatsFrame
-	if jerr := json.Unmarshal(sc.Bytes(), &stats); jerr != nil || stats.Type != FrameStats {
-		return delivered, permanent(fmt.Errorf("exp: worker %d: expected stats frame at shutdown, got %q", slot, sc.Bytes()))
-	}
-	// Every task is delivered and the stats frame arrived; the only exit
-	// status to tolerate beyond a clean one is our own watchdog's kill
-	// racing a frame that did make it out.
-	if desc := exit(); desc != "exited cleanly" && !stFired {
-		return delivered, fmt.Errorf("exp: worker %d: %s after its last task", slot, desc)
-	}
-	if p.OnStats != nil {
-		p.statsMu.Lock()
-		p.OnStats(WorkerStats{Worker: slot, Tasks: stats.Tasks, Cache: stats.Cache})
-		p.statsMu.Unlock()
 	}
 	return delivered, nil
 }

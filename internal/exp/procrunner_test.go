@@ -403,10 +403,11 @@ func TestProcRefusesNonWireablePlans(t *testing.T) {
 	}
 }
 
-// TestAssignAffinityDeterministicAndGrouped: the dispatch plan is a pure
-// function of the canonical task order and worker count, every unit of one
-// affinity group lands on one worker, and groups spread across workers.
-func TestAssignAffinityDeterministicAndGrouped(t *testing.T) {
+// TestAffinityGroupsDeterministicAndGrouped: grouping is a pure function of
+// the canonical task order — every unit of one affinity key lands in one
+// group, groups are ordered by first appearance, and units keep canonical
+// order inside their group.
+func TestAffinityGroupsDeterministicAndGrouped(t *testing.T) {
 	mkPlan := func(affinities ...string) *TaskPlan {
 		tasks := make([]Task, len(affinities))
 		for i, a := range affinities {
@@ -424,49 +425,129 @@ func TestAssignAffinityDeterministicAndGrouped(t *testing.T) {
 			units = append(units, batchUnit{exp: i, task: j, id: len(units)})
 		}
 	}
-	first := assignAffinity(units, plans, 3)
-	second := assignAffinity(units, plans, 3)
+	first := affinityGroups(units, plans)
+	second := affinityGroups(units, plans)
 	if !reflect.DeepEqual(first, second) {
-		t.Fatalf("assignment is not deterministic:\n%v\nvs\n%v", first, second)
+		t.Fatalf("grouping is not deterministic:\n%v\nvs\n%v", first, second)
 	}
-	workerOf := map[string]int{}
-	assigned := 0
-	for w, queue := range first {
-		for _, u := range queue {
-			assigned++
+	// core-a, core-b, core-c, and the affinity-less singleton: four groups.
+	if len(first) != 4 {
+		t.Fatalf("%d groups, want 4: %v", len(first), first)
+	}
+	groupOf := map[string]int{}
+	grouped := 0
+	lastID := -1
+	for g, group := range first {
+		if len(group) == 0 {
+			t.Fatalf("group %d is empty: %v", g, first)
+		}
+		prevInGroup := -1
+		for _, u := range group {
+			grouped++
 			key := affinityKey(u, plans)
-			if prev, seen := workerOf[key]; seen && prev != w {
-				t.Fatalf("affinity group %q split across workers %d and %d", key, prev, w)
+			if prev, seen := groupOf[key]; seen && prev != g {
+				t.Fatalf("affinity key %q split across groups %d and %d", key, prev, g)
 			}
-			workerOf[key] = w
+			groupOf[key] = g
+			if u.id <= prevInGroup {
+				t.Fatalf("group %d out of canonical order: %v", g, group)
+			}
+			prevInGroup = u.id
 		}
-	}
-	if assigned != len(units) {
-		t.Fatalf("%d of %d units assigned", assigned, len(units))
-	}
-	// Four distinct groups over three workers: every worker gets work.
-	for w, queue := range first {
-		if len(queue) == 0 {
-			t.Fatalf("worker %d left idle: %v", w, first)
+		if group[0].id <= lastID {
+			t.Fatalf("groups not ordered by first appearance: %v", first)
 		}
+		lastID = group[0].id
+	}
+	if grouped != len(units) {
+		t.Fatalf("%d of %d units grouped", grouped, len(units))
 	}
 }
 
-// TestAffinitylessDuplicatesSpread: duplicating a single-task experiment in
-// one batch must not serialize its copies onto one worker — affinity-less
-// tasks are singleton groups even when their labels repeat.
-func TestAffinitylessDuplicatesSpread(t *testing.T) {
+// TestAffinitylessDuplicatesStaySingletons: duplicating a single-task
+// experiment in one batch must not merge its copies into one group (which
+// would serialize them onto one worker) — affinity-less tasks are singleton
+// groups even when their labels repeat.
+func TestAffinitylessDuplicatesStaySingletons(t *testing.T) {
 	plan := &TaskPlan{Tasks: []Task{{Label: "same-label"}}}
 	plans := []*TaskPlan{plan, plan, plan, plan}
 	var units []batchUnit
 	for i := range plans {
 		units = append(units, batchUnit{exp: i, task: 0, id: i})
 	}
-	queues := assignAffinity(units, plans, 2)
-	for w, queue := range queues {
-		if len(queue) != 2 {
-			t.Fatalf("worker %d got %d of 4 identical-label units, want 2 (queues %v)", w, len(queue), queues)
+	groups := affinityGroups(units, plans)
+	if len(groups) != 4 {
+		t.Fatalf("%d groups for 4 identical-label units, want 4 singletons: %v", len(groups), groups)
+	}
+	for g, group := range groups {
+		if len(group) != 1 {
+			t.Fatalf("group %d holds %d units, want 1: %v", g, len(group), groups)
 		}
+	}
+}
+
+// TestGroupPoolClaimRequeueDrain pins the pool mechanics the slots rely on:
+// claims come out in order, a requeued suffix returns to the front, the
+// one-retry latch refuses a second requeue, and the pool drains only when
+// the queue is empty with nothing outstanding.
+func TestGroupPoolClaimRequeueDrain(t *testing.T) {
+	ctx := context.Background()
+	groups := [][]batchUnit{
+		{{id: 0}, {id: 1}, {id: 2}},
+		{{id: 3}},
+	}
+	pool := newGroupPool(groups)
+
+	a := pool.claim(ctx)
+	if a == nil || a.units[0].id != 0 {
+		t.Fatalf("first claim = %+v, want group starting at id 0", a)
+	}
+	// Drop the session after one delivery: the suffix goes back to the
+	// front of the queue, ahead of the untouched second group.
+	if !pool.requeue(a, a.units[1:]) {
+		t.Fatal("first requeue refused")
+	}
+	re := pool.claim(ctx)
+	if re != a || len(re.units) != 2 || re.units[0].id != 1 {
+		t.Fatalf("requeued claim = %+v, want the suffix {1,2} at the front", re)
+	}
+	// The group already used its one retry: a second drop is refused.
+	if pool.requeue(re, re.units[1:]) {
+		t.Fatal("second requeue of the same group accepted")
+	}
+
+	b := pool.claim(ctx)
+	if b == nil || b.units[0].id != 3 {
+		t.Fatalf("claim after refused requeue = %+v, want group {3}", b)
+	}
+	// The queue is empty but b is outstanding: not drained, and an idle
+	// claimer must block (b may yet be requeued and need a runner), waking
+	// only when the pool truly drains.
+	select {
+	case <-pool.drained:
+		t.Fatal("pool drained while an entry was outstanding")
+	default:
+	}
+	claimed := make(chan *groupEntry, 1)
+	go func() { claimed <- pool.claim(ctx) }()
+	select {
+	case e := <-claimed:
+		t.Fatalf("claim returned %+v while an entry was outstanding", e)
+	case <-time.After(50 * time.Millisecond):
+	}
+	pool.finish()
+	select {
+	case e := <-claimed:
+		if e != nil {
+			t.Fatalf("drained claim = %+v, want nil", e)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("claimer never woke on drain")
+	}
+	select {
+	case <-pool.drained:
+	default:
+		t.Fatal("pool not marked drained")
 	}
 }
 

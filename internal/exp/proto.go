@@ -19,6 +19,7 @@ package exp
 
 import (
 	"bufio"
+	"bytes"
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
@@ -36,10 +37,28 @@ import (
 // Results, a few hundred KB of tables at stress presets).
 const maxFrameBytes = 16 << 20
 
-// newFrameScanner returns a line scanner sized for protocol frames.
+// newFrameScanner returns a line scanner sized for protocol frames. Unlike
+// bufio.ScanLines it never yields a partial trailing line: a frame is only
+// a frame once its newline arrived, so a stream cut mid-frame (a connection
+// reset, a peer dying mid-write) discards the torn prefix and surfaces the
+// stream's own ending — the read error, or plain EOF — instead of handing
+// the driver half a frame to misparse as a protocol violation.
 func newFrameScanner(r io.Reader) *bufio.Scanner {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64<<10), maxFrameBytes)
+	sc.Split(func(data []byte, atEOF bool) (int, []byte, error) {
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line := data[:i]
+			if len(line) > 0 && line[len(line)-1] == '\r' {
+				line = line[:len(line)-1]
+			}
+			return i + 1, line, nil
+		}
+		if atEOF {
+			return len(data), nil, nil // discard the torn final line
+		}
+		return 0, nil, nil
+	})
 	return sc
 }
 

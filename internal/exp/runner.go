@@ -17,12 +17,14 @@ package exp
 
 import (
 	"context"
+	"crypto/tls"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // BatchOptions parameterizes RunBatch.
@@ -49,6 +51,26 @@ type BatchOptions struct {
 	// WorkerEnv is extra environment appended to the inherited environment
 	// of every worker subprocess.
 	WorkerEnv []string
+	// Remote lists remote worker addresses (host:port of processes running
+	// `experiments worker -listen`); each address becomes one worker slot
+	// dialed over TCP instead of a spawned subprocess. May be combined with
+	// Workers > 0 only in the sense that Remote wins: when Remote is
+	// non-empty the batch runs on the remote slots exclusively. An address
+	// that is unreachable at batch start is re-dialed on a backoff schedule
+	// and joins mid-batch; see docs/DISTRIBUTED.md.
+	Remote []string
+	// RemoteTLS, when non-nil, wraps every remote worker connection in TLS
+	// (see RemoteTLSConfig).
+	RemoteTLS *tls.Config
+	// RemoteReadTimeout, when > 0, bounds per-read silence on remote worker
+	// connections — an opt-in ceiling on task duration that fails a
+	// connected-but-stalled peer with a labeled error. Zero (the default)
+	// disables it; kernel keepalives still detect dead peers.
+	RemoteReadTimeout time.Duration
+	// Transports, when non-empty, enumerates the worker slots explicitly
+	// and overrides Workers/WorkerCommand/Remote. Primarily a testing
+	// seam; cmd wiring uses Workers and Remote.
+	Transports []Transport
 	// WorkerRetry, when true, retries a crashed worker's remaining tasks
 	// (including the in-flight one) once on a fresh worker before failing
 	// the batch. Task-level failures (the task itself returned an error)
@@ -236,14 +258,25 @@ func RunBatch(ctx context.Context, exps []*Experiment, opts BatchOptions) ([]*Re
 		},
 	}
 
+	transports := opts.Transports
+	if len(transports) == 0 {
+		for _, addr := range opts.Remote {
+			transports = append(transports, &TCPTransport{
+				Addr:        addr,
+				TLS:         opts.RemoteTLS,
+				ReadTimeout: opts.RemoteReadTimeout,
+			})
+		}
+	}
 	var r runner = localRunner{jobs: opts.Jobs}
-	if opts.Workers > 0 {
+	if opts.Workers > 0 || len(transports) > 0 {
 		r = &ProcRunner{
-			Workers: opts.Workers,
-			Command: opts.WorkerCommand,
-			Env:     opts.WorkerEnv,
-			Retry:   opts.WorkerRetry,
-			OnStats: opts.OnWorkerStats,
+			Workers:    opts.Workers,
+			Command:    opts.WorkerCommand,
+			Env:        opts.WorkerEnv,
+			Transports: transports,
+			Retry:      opts.WorkerRetry,
+			OnStats:    opts.OnWorkerStats,
 		}
 	}
 	r.runTasks(bctx, state)

@@ -1,0 +1,219 @@
+package exp
+
+// The TCP transport: distributing batches across machines. The orchestrator
+// side (TCPTransport) dials a remote worker started with
+// `experiments worker -listen addr` and speaks the same NDJSON frame
+// grammar the pipe transport speaks over stdin/stdout; the worker side
+// (ServeWorker) accepts connections and runs the ordinary RunWorker loop on
+// each. Nothing protocol-level changes across the wire — the hello
+// handshake's ProtoVersion/CatalogHash/BuildID gate is what refuses a
+// version-skewed remote binary, a crash becomes a connection reset, and
+// cancellation closes the connection. TLS is optional on both sides
+// (WorkerTLSConfig for the acceptor's cert/key, RemoteTLSConfig for the
+// dialer's trust root).
+
+import (
+	"context"
+	"crypto/tls"
+	"crypto/x509"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// connectTimeout bounds one dial attempt (including the TLS handshake when
+// enabled) to a remote worker: an unreachable or black-holed address fails
+// the attempt promptly so the backoff schedule stays responsive. A variable
+// so tests can shrink it.
+var connectTimeout = 5 * time.Second
+
+// tcpWriteTimeout bounds each frame write to a remote worker. Task frames
+// are tiny, so a write that cannot complete within this bound means the
+// peer stopped draining its socket — fail labeled instead of blocking the
+// slot forever.
+var tcpWriteTimeout = 30 * time.Second
+
+// tcpKeepAlive configures kernel keepalive probing on every worker
+// connection, so a half-open peer (machine gone, NAT state lost) is
+// detected and surfaces as a read error within ~30s even while a long task
+// keeps the stream otherwise silent.
+var tcpKeepAlive = net.KeepAliveConfig{
+	Enable:   true,
+	Idle:     15 * time.Second,
+	Interval: 5 * time.Second,
+	Count:    3,
+}
+
+// TCPTransport dials one remote worker (`experiments worker -listen addr`)
+// and speaks the NDJSON worker protocol over the connection. It is
+// redialable: an unreachable address is re-attempted on a backoff schedule
+// mid-batch, which is how a late-joining worker is admitted into the
+// affinity dispatch.
+type TCPTransport struct {
+	// Addr is the worker's host:port.
+	Addr string
+	// TLS, when non-nil, wraps every connection in TLS (the worker must be
+	// listening with -tls-cert/-tls-key). See RemoteTLSConfig.
+	TLS *tls.Config
+	// ReadTimeout, when > 0, bounds the silence on the connection while
+	// the orchestrator is awaiting frames: a peer that is connected but
+	// stalled — not even crashing, just never writing — fails labeled
+	// after this long instead of hanging the batch. Zero disables the
+	// bound; tasks may legitimately compute for a long time between
+	// frames, so this is an opt-in ceiling on task duration, not a
+	// liveness probe (kernel keepalives cover dead peers).
+	ReadTimeout time.Duration
+}
+
+func (t *TCPTransport) Label() string    { return "worker " + t.Addr }
+func (t *TCPTransport) Redialable() bool { return true }
+
+func (t *TCPTransport) Connect(ctx context.Context) (WorkerSession, error) {
+	d := net.Dialer{Timeout: connectTimeout, KeepAliveConfig: tcpKeepAlive}
+	conn, err := d.DialContext(ctx, "tcp", t.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s: connect: %w", t.Label(), err)
+	}
+	if t.TLS != nil {
+		tc := tls.Client(conn, t.TLS)
+		hctx, cancel := context.WithTimeout(ctx, connectTimeout)
+		err := tc.HandshakeContext(hctx)
+		cancel()
+		if err != nil {
+			_ = conn.Close()
+			return nil, fmt.Errorf("exp: %s: tls handshake: %w", t.Label(), err)
+		}
+		conn = tc
+	}
+	return &tcpSession{conn: conn, readTimeout: t.ReadTimeout}, nil
+}
+
+// writeHalfCloser is the half-close both stream types used here provide
+// (*net.TCPConn and *tls.Conn).
+type writeHalfCloser interface{ CloseWrite() error }
+
+// tcpSession is one live connection to a remote worker.
+type tcpSession struct {
+	conn        net.Conn
+	readTimeout time.Duration
+
+	once  sync.Once
+	desc  string
+	clean bool
+}
+
+func (s *tcpSession) Read(p []byte) (int, error) {
+	if s.readTimeout > 0 {
+		_ = s.conn.SetReadDeadline(time.Now().Add(s.readTimeout))
+	}
+	return s.conn.Read(p)
+}
+
+func (s *tcpSession) Write(p []byte) (int, error) {
+	_ = s.conn.SetWriteDeadline(time.Now().Add(tcpWriteTimeout))
+	return s.conn.Write(p)
+}
+
+func (s *tcpSession) CloseWrite() error {
+	if hc, ok := s.conn.(writeHalfCloser); ok {
+		return hc.CloseWrite()
+	}
+	return fmt.Errorf("exp: connection %T cannot half-close", s.conn)
+}
+
+// Abort closes the connection, unblocking any pending Read; the remote
+// worker observes the close and abandons its in-flight task via its own
+// context.
+func (s *tcpSession) Abort() { _ = s.conn.Close() }
+
+// Close tears the connection down. Unlike a subprocess there is no exit
+// status to collect: from the orchestrator's side every ending looks like a
+// closed connection, and whether that was a crash is judged by *when* it
+// happened (mid-task, before the stats frame, ...) in the protocol driver.
+func (s *tcpSession) Close() (string, bool) {
+	s.once.Do(func() {
+		_ = s.conn.Close()
+		s.desc, s.clean = "closed connection", true
+	})
+	return s.desc, s.clean
+}
+
+// ServeWorker is the acceptor side of the TCP transport: it accepts
+// connections on l and serves the worker protocol (RunWorker) on each —
+// concurrently, one session per connection, all sharing this process's
+// registry and instance cache — until ctx is canceled or the listener
+// fails. A protocol error on one connection closes that connection (the
+// orchestrator sees the reset and labels the failure on its side) without
+// taking the acceptor down. On cancellation the listener and every open
+// session are closed and ServeWorker returns nil.
+func ServeWorker(ctx context.Context, l net.Listener) error {
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		conns = make(map[net.Conn]struct{})
+	)
+	unhook := context.AfterFunc(ctx, func() {
+		_ = l.Close()
+		mu.Lock()
+		for c := range conns {
+			_ = c.Close()
+		}
+		mu.Unlock()
+	})
+	defer unhook()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			wg.Wait()
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("exp: worker listener: %w", err)
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			_ = tc.SetKeepAliveConfig(tcpKeepAlive)
+		}
+		mu.Lock()
+		conns[conn] = struct{}{}
+		mu.Unlock()
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			if err := RunWorker(ctx, conn, conn); err != nil && ctx.Err() == nil {
+				fmt.Fprintf(os.Stderr, "exp: worker session %s: %v\n", conn.RemoteAddr(), err)
+			}
+			mu.Lock()
+			delete(conns, conn)
+			mu.Unlock()
+			_ = conn.Close()
+		}(conn)
+	}
+}
+
+// WorkerTLSConfig builds the acceptor-side TLS configuration for
+// `experiments worker -listen` from a certificate/key pair; wrap the
+// listener with tls.NewListener.
+func WorkerTLSConfig(certFile, keyFile string) (*tls.Config, error) {
+	cert, err := tls.LoadX509KeyPair(certFile, keyFile)
+	if err != nil {
+		return nil, fmt.Errorf("exp: loading worker TLS key pair: %w", err)
+	}
+	return &tls.Config{Certificates: []tls.Certificate{cert}, MinVersion: tls.VersionTLS12}, nil
+}
+
+// RemoteTLSConfig builds the dialer-side TLS configuration: connections to
+// remote workers are verified against the CA bundle (or self-signed worker
+// certificate) in caFile.
+func RemoteTLSConfig(caFile string) (*tls.Config, error) {
+	pem, err := os.ReadFile(caFile)
+	if err != nil {
+		return nil, fmt.Errorf("exp: reading remote CA: %w", err)
+	}
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(pem) {
+		return nil, fmt.Errorf("exp: remote CA %s holds no PEM certificates", caFile)
+	}
+	return &tls.Config{RootCAs: pool, MinVersion: tls.VersionTLS12}, nil
+}

@@ -1,0 +1,143 @@
+package exp
+
+// The worker transport abstraction: ProcRunner drives every worker session
+// through the Transport/WorkerSession pair below, so the byte stream a
+// session runs over is pluggable. Two implementations ship: PipeTransport
+// (spawn a subprocess, speak over its stdin/stdout — the default behind
+// BatchOptions.Workers, and the only transport before the TCP one landed)
+// and TCPTransport (dial a remote `experiments worker -listen` acceptor —
+// see tcp.go). Everything protocol-level — handshake, frame grammar, task
+// dispatch, failure labeling — lives above this seam in procrunner.go and
+// is byte-for-byte identical on every transport.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+)
+
+// teardownTimeout bounds session teardown uniformly across transports: the
+// wait for the mandatory stats frame after the write side is closed, and —
+// for the pipe transport — process reaping. A worker that closes its write
+// side but never speaks again (or never exits) fails the batch labeled
+// within this bound instead of hanging it, whichever transport carried the
+// session. A variable so tests can shrink it.
+var teardownTimeout = 10 * time.Second
+
+// A Transport produces worker sessions for the multi-process batch
+// backend. One Transport value corresponds to one worker slot; ProcRunner
+// connects it (possibly repeatedly, for retry and late admission) and
+// drives the NDJSON worker protocol over each session it yields.
+type Transport interface {
+	// Connect establishes one worker session: a byte stream on which the
+	// peer speaks the worker side of the protocol, starting with its hello
+	// frame. Connect must honor ctx for any internal waiting.
+	Connect(ctx context.Context) (WorkerSession, error)
+	// Label names the transport's peer in errors and stats
+	// ("worker 2", "worker 127.0.0.1:9701").
+	Label() string
+	// Redialable reports whether a failed Connect may succeed later. The
+	// dialing runner re-attempts redialable transports on a backoff
+	// schedule — this is how a late-joining remote worker is admitted
+	// mid-batch — and treats a non-redialable Connect failure as final.
+	Redialable() bool
+}
+
+// A WorkerSession is one established byte stream to a worker, plus the
+// teardown hooks the protocol driver needs. Reads and writes carry NDJSON
+// frames; the driver never interprets transport specifics beyond these
+// methods.
+type WorkerSession interface {
+	io.Reader
+	io.Writer
+	// CloseWrite half-closes the orchestrator→worker direction, signaling
+	// end of tasks; the worker answers with its stats frame. (Pipe: close
+	// stdin. TCP: shut down the write side of the connection.)
+	CloseWrite() error
+	// Abort tears the session down immediately — kill the process, close
+	// the connection — unblocking any pending Read. It is idempotent and
+	// safe to call concurrently with Reads and Close (the deadline timers
+	// fire it from other goroutines).
+	Abort()
+	// Close finishes teardown, bounded by teardownTimeout, and describes
+	// how the peer ended: desc is a human-readable account ("exited
+	// cleanly", "exit status 3", "closed connection") and clean reports
+	// whether the ending itself is unremarkable. Close is idempotent; the
+	// first call's outcome is cached.
+	Close() (desc string, clean bool)
+}
+
+// PipeTransport spawns a worker subprocess and speaks the protocol over
+// its stdin/stdout — the transport behind BatchOptions.Workers. A spawn
+// failure is final (Redialable is false): re-running the same argv would
+// fail identically.
+type PipeTransport struct {
+	// Slot is the worker slot index, used only for labeling.
+	Slot int
+	// Command is the argv spawning one worker (e.g. the current executable
+	// with the single argument "worker").
+	Command []string
+	// Env is extra environment appended to the inherited environment.
+	Env []string
+}
+
+func (t *PipeTransport) Label() string    { return fmt.Sprintf("worker %d", t.Slot) }
+func (t *PipeTransport) Redialable() bool { return false }
+
+func (t *PipeTransport) Connect(ctx context.Context) (WorkerSession, error) {
+	cmd := exec.CommandContext(ctx, t.Command[0], t.Command[1:]...)
+	cmd.Env = append(os.Environ(), t.Env...)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s: stdin pipe: %w", t.Label(), err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s: stdout pipe: %w", t.Label(), err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("exp: %s: spawn %q: %w", t.Label(), t.Command[0], err)
+	}
+	return &pipeSession{cmd: cmd, stdin: stdin, stdout: stdout}, nil
+}
+
+// pipeSession is one live worker subprocess.
+type pipeSession struct {
+	cmd    *exec.Cmd
+	stdin  io.WriteCloser
+	stdout io.ReadCloser
+
+	reap  sync.Once
+	desc  string
+	clean bool
+}
+
+func (s *pipeSession) Read(p []byte) (int, error)  { return s.stdout.Read(p) }
+func (s *pipeSession) Write(p []byte) (int, error) { return s.stdin.Write(p) }
+func (s *pipeSession) CloseWrite() error           { return s.stdin.Close() }
+
+// Abort kills the process; killing one that already exited is a no-op, so
+// a natural exit's status is never clobbered.
+func (s *pipeSession) Abort() { _ = s.cmd.Process.Kill() }
+
+// Close reaps the process exactly once, bounded by teardownTimeout: a
+// worker that closed its stdout but never exits is killed rather than
+// hanging Wait.
+func (s *pipeSession) Close() (string, bool) {
+	s.reap.Do(func() {
+		_ = s.stdin.Close()
+		t := time.AfterFunc(teardownTimeout, func() { _ = s.cmd.Process.Kill() })
+		defer t.Stop()
+		if err := s.cmd.Wait(); err != nil {
+			s.desc, s.clean = err.Error(), false
+			return
+		}
+		s.desc, s.clean = "exited cleanly", true
+	})
+	return s.desc, s.clean
+}

@@ -30,6 +30,7 @@ package serve
 
 import (
 	"context"
+	"crypto/tls"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -73,8 +74,23 @@ type Config struct {
 	// immediately when full.
 	MaxQueue int
 	// Jobs is the in-process task parallelism of each admitted computation
-	// (exp.BatchOptions.Jobs); <= 0 selects GOMAXPROCS.
+	// (exp.BatchOptions.Jobs); <= 0 selects GOMAXPROCS. Ignored when Remote
+	// is set.
 	Jobs int
+	// Remote, when non-empty, dispatches every admitted computation to these
+	// `experiments worker -listen` TCP acceptors instead of computing in
+	// process (exp.BatchOptions.Remote). Served bytes are identical either
+	// way; the workers become the compute tier and this process stays an
+	// orchestrator.
+	Remote []string
+	// RemoteTLS optionally wraps every remote worker connection in TLS
+	// (exp.BatchOptions.RemoteTLS); see RemoteTLSConfig.
+	RemoteTLS *tls.Config
+	// WorkerRetry allows a crashed remote worker's tasks one rerun on a
+	// fresh session before a request fails (exp.BatchOptions.WorkerRetry) —
+	// a service in front of a worker fleet usually wants a single flaky
+	// worker to cost latency, not the request.
+	WorkerRetry bool
 	// Timeout is the per-request compute ceiling; a request may lower it
 	// via its timeout parameter but never raise it. 0 means no ceiling.
 	Timeout time.Duration
@@ -412,6 +428,20 @@ func (s *Server) runFlight(ctx context.Context, f *flight, key string, e *exp.Ex
 	close(f.done)
 }
 
+// batchOptions is the execution backend every admitted computation runs
+// under: the in-process pool by default, the configured remote TCP worker
+// fleet when Config.Remote is set. Both compute byte-identical canonical
+// results, so the store and every response are backend-agnostic.
+func (s *Server) batchOptions(cfg exp.RunConfig) exp.BatchOptions {
+	return exp.BatchOptions{
+		Jobs:        s.cfg.Jobs,
+		Remote:      s.cfg.Remote,
+		RemoteTLS:   s.cfg.RemoteTLS,
+		WorkerRetry: s.cfg.WorkerRetry,
+		Config:      cfg,
+	}
+}
+
 // computeResult runs e under cfg with admission control and persists the
 // canonical result. On success it returns the stored bytes and status 0.
 func (s *Server) computeResult(ctx context.Context, key string, e *exp.Experiment, cfg exp.RunConfig, timeout time.Duration) ([]byte, int, errorEnvelope) {
@@ -432,7 +462,7 @@ func (s *Server) computeResult(ctx context.Context, key string, e *exp.Experimen
 		defer cancel()
 	}
 	s.computes.Add(1)
-	results, err := exp.RunBatch(ctx, []*exp.Experiment{e}, exp.BatchOptions{Jobs: s.cfg.Jobs, Config: cfg})
+	results, err := exp.RunBatch(ctx, []*exp.Experiment{e}, s.batchOptions(cfg))
 	if err != nil {
 		status, env := envelopeFor(err, e.Name)
 		return nil, status, env
@@ -540,11 +570,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	stream := flushWriter{w: w, f: flusher}
 
 	s.computes.Add(1)
-	results, err := exp.RunBatch(ctx, exps, exp.BatchOptions{
-		Jobs:   s.cfg.Jobs,
-		Config: cfg,
-		Stream: stream,
-	})
+	opts := s.batchOptions(cfg)
+	opts.Stream = stream
+	results, err := exp.RunBatch(ctx, exps, opts)
 	if err != nil {
 		// Mid-stream failure: deliver the envelope as the final NDJSON line.
 		_, env := envelopeFor(err, "batch")

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -193,6 +194,49 @@ func TestResultByteIdenticalToWriteResults(t *testing.T) {
 	}
 	if !bytes.Equal(raw, raw2) {
 		t.Fatal("warm bytes differ from cold bytes")
+	}
+}
+
+// TestResultOverRemoteWorkersByteIdentical: a service configured with
+// Config.Remote dispatches its computations to TCP workers and serves
+// bytes identical to an in-process service — the compute tier is
+// interchangeable underneath the store.
+func TestResultOverRemoteWorkersByteIdentical(t *testing.T) {
+	const name, preset = "survivors", "quick"
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		_ = exp.ServeWorker(ctx, l)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-served
+	})
+
+	_, local := newTestServer(t, nil)
+	_, remote := newTestServer(t, func(c *Config) {
+		c.Remote = []string{l.Addr().String()}
+		c.WorkerRetry = true
+	})
+
+	status, _, want := get(t, local.URL+"/v1/experiments/"+name+"?preset="+preset)
+	if status != http.StatusOK {
+		t.Fatalf("in-process status = %d: %s", status, want)
+	}
+	status, hdr, got := get(t, remote.URL+"/v1/experiments/"+name+"?preset="+preset)
+	if status != http.StatusOK {
+		t.Fatalf("remote-workers status = %d: %s", status, got)
+	}
+	if s := hdr.Get("X-Expd-Store"); s != "miss" {
+		t.Fatalf("remote request store header = %q, want miss (computed on the worker)", s)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("result computed over remote TCP workers differs from the in-process bytes")
 	}
 }
 

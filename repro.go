@@ -67,7 +67,9 @@ package repro
 
 import (
 	"context"
+	"crypto/tls"
 	"io"
+	"net"
 
 	"repro/internal/exp"
 	"repro/internal/inst"
@@ -149,6 +151,29 @@ func RunBatch(ctx context.Context, exps []*Experiment, opts BatchOptions) ([]*Ru
 // spawns one subprocess per worker of.
 func RunWorker(ctx context.Context, r io.Reader, w io.Writer) error {
 	return exp.RunWorker(ctx, r, w)
+}
+
+// ServeWorker is the acceptor side of the TCP worker transport: it accepts
+// connections on l and serves the worker protocol on each until ctx is
+// canceled. It is the loop behind `experiments worker -listen`, whose
+// address BatchOptions.Remote dials. See exp.ServeWorker and
+// docs/DISTRIBUTED.md.
+func ServeWorker(ctx context.Context, l net.Listener) error {
+	return exp.ServeWorker(ctx, l)
+}
+
+// WorkerTLSConfig builds the acceptor-side TLS configuration for
+// `experiments worker -listen` from a certificate/key pair; wrap the
+// listener with tls.NewListener.
+func WorkerTLSConfig(certFile, keyFile string) (*tls.Config, error) {
+	return exp.WorkerTLSConfig(certFile, keyFile)
+}
+
+// RemoteTLSConfig builds the dialer-side TLS configuration for
+// BatchOptions.RemoteTLS: connections to remote workers are verified
+// against the CA bundle (or self-signed worker certificate) in caFile.
+func RemoteTLSConfig(caFile string) (*tls.Config, error) {
+	return exp.RemoteTLSConfig(caFile)
 }
 
 // CatalogHash fingerprints the registered experiment catalog; orchestrator
