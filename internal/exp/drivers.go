@@ -53,6 +53,11 @@ type SweepResult struct {
 	// Steps is the total simulator machine-step work across the sweep's
 	// points; 0 for analytic sweeps that never enter the simulator.
 	Steps int64
+	// Boundary and Crossed total the sharded simulator's boundary edges and
+	// cross-shard messages over the sweep's points (0 for unsharded runs);
+	// they feed Result.ShardTraffic, never a table cell.
+	Boundary int64
+	Crossed  int64
 }
 
 // finish annotates the table with fit-vs-theory.
@@ -66,18 +71,31 @@ func (r *SweepResult) finish(title string, xName string) {
 	}
 }
 
-// engineConfig carries the simulator execution knobs — worker count and
-// shard count — from RunConfig into the simulator-backed point functions.
-// Neither knob affects results: canonical outputs are byte-identical at
-// every setting (asserted catalog-wide in shard_equiv_test.go).
+// engineConfig carries the simulator execution knobs — worker count, shard
+// count, and shard layout — from RunConfig into the simulator-backed point
+// functions. No knob affects results: canonical outputs are byte-identical
+// at every setting (asserted catalog-wide in shard_equiv_test.go).
 type engineConfig struct {
 	parallelism int
 	shards      int
+	layout      string
 }
 
 // engCfg extracts the engine knobs of a run configuration.
 func engCfg(cfg RunConfig) engineConfig {
-	return engineConfig{parallelism: cfg.Parallelism, shards: cfg.Shards}
+	return engineConfig{parallelism: cfg.Parallelism, shards: cfg.Shards, layout: cfg.ShardLayout}
+}
+
+// shardTraffic folds a simulated point's per-shard statistics into the
+// layout-objective counters: boundary edges (halved — each edge appears in
+// both incident shards' statistics) and real messages crossed (counted once,
+// on the sending side). Zero for unsharded runs, whose Shards is nil.
+func shardTraffic(r *sim.Result) (boundary, crossed int64) {
+	for _, s := range r.Shards {
+		boundary += int64(s.BoundaryEdges)
+		crossed += s.MessagesCrossed
+	}
+	return boundary / 2, crossed
 }
 
 // sweepStep is the per-point cancellation check shared by every driver.
@@ -90,12 +108,15 @@ func sweepStep(ctx context.Context) error {
 
 // sweepPoint is one completed sweep value: the point entering the log-log
 // fit plus its table row cells. steps carries the simulator machine-step
-// work of the point (0 for analytic points); it feeds Result.Steps only —
+// work of the point (0 for analytic points) and boundary/crossed its shard
+// traffic (0 unsharded); all three feed Result.Steps/ShardTraffic only —
 // never a table cell — so canonical outputs are unaffected.
 type sweepPoint struct {
-	pt    measure.Point
-	row   []any
-	steps int64
+	pt       measure.Point
+	row      []any
+	steps    int64
+	boundary int64
+	crossed  int64
 }
 
 // sweepSpec is the decomposed form of a scaling sweep: the analytic
@@ -128,6 +149,8 @@ func (s *sweepSpec) assemble(points []sweepPoint) *SweepResult {
 		res.Points = append(res.Points, p.pt)
 		res.Table.AddRow(p.row...)
 		res.Steps += p.steps
+		res.Boundary += p.boundary
+		res.Crossed += p.crossed
 	}
 	res.finish(s.title, s.xName)
 	return res
@@ -459,15 +482,19 @@ func twoColoringGapSpec() *sweepSpec {
 				sim.WithContext(ctx),
 				sim.WithParallelism(eng.parallelism),
 				sim.WithShards(eng.shards),
+				sim.WithShardLayout(sim.ShardLayout(eng.layout)),
 			).Run(tr, coloring.TwoColorPathAlgorithm{})
 			if err != nil {
 				return sweepPoint{}, err
 			}
 			avg := r.NodeAveraged()
+			boundary, crossed := shardTraffic(r)
 			return sweepPoint{
-				pt:    measure.Point{X: float64(n), Y: avg},
-				row:   []any{n, avg, avg / float64(n), ""},
-				steps: r.Steps,
+				pt:       measure.Point{X: float64(n), Y: avg},
+				row:      []any{n, avg, avg / float64(n), ""},
+				steps:    r.Steps,
+				boundary: boundary,
+				crossed:  crossed,
 			}, nil
 		},
 	}

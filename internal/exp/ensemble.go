@@ -47,18 +47,25 @@ type ensembleSpec struct {
 	sample func(ctx context.Context, idx int, seed uint64, eng engineConfig) (sweepPoint, error)
 }
 
+// pointTotals sums the execution-mechanics counters of a point set: machine
+// steps and shard traffic. They annotate the Result (and are stripped from
+// its canonical form); none of them touches a table cell.
+type pointTotals struct{ steps, boundary, crossed int64 }
+
 // assemble combines completed samples — in canonical sample order — into the
 // per-sample table and the cross-ensemble statistics table, plus the total
-// simulator machine-step work across the samples. Both the serial path and
-// the task planner funnel through here.
-func (s *ensembleSpec) assemble(points []sweepPoint) ([]measure.Table, int64, error) {
+// simulator machine-step work and shard traffic across the samples. Both the
+// serial path and the task planner funnel through here.
+func (s *ensembleSpec) assemble(points []sweepPoint) ([]measure.Table, pointTotals, error) {
 	samples := measure.Table{Title: s.title, Header: s.header}
 	var sumTotal, maxTotal, sumAvg float64
-	var steps int64
+	var totals pointTotals
 	dist := map[int64]int64{}
 	for i, p := range points {
 		samples.AddRow(p.row...)
-		steps += p.steps
+		totals.steps += p.steps
+		totals.boundary += p.boundary
+		totals.crossed += p.crossed
 		sumTotal += p.pt.X
 		if p.pt.X > maxTotal {
 			maxTotal = p.pt.X
@@ -69,10 +76,10 @@ func (s *ensembleSpec) assemble(points []sweepPoint) ([]measure.Table, int64, er
 		// verbatim wire copy (cross-process).
 		cell, ok := p.row[len(p.row)-1].(string)
 		if !ok {
-			return nil, 0, fmt.Errorf("sample %d: distribution cell is %T, not string", i, p.row[len(p.row)-1])
+			return nil, pointTotals{}, fmt.Errorf("sample %d: distribution cell is %T, not string", i, p.row[len(p.row)-1])
 		}
 		if err := addColorDist(dist, cell); err != nil {
-			return nil, 0, fmt.Errorf("sample %d: %w", i, err)
+			return nil, pointTotals{}, fmt.Errorf("sample %d: %w", i, err)
 		}
 	}
 	n := float64(len(points))
@@ -87,20 +94,20 @@ func (s *ensembleSpec) assemble(points []sweepPoint) ([]measure.Table, int64, er
 		stats.AddRow("mean node-avg rounds", sumAvg/n, "", "")
 		stats.AddRow("output distribution", formatColorDist(dist), "", "")
 	}
-	return []measure.Table{samples, stats}, steps, nil
+	return []measure.Table{samples, stats}, totals, nil
 }
 
 // runSerial executes the ensemble's samples in order on the calling
 // goroutine (the Experiment.Run path).
-func (s *ensembleSpec) runSerial(ctx context.Context, idxs []int, seed uint64, eng engineConfig) ([]measure.Table, int64, error) {
+func (s *ensembleSpec) runSerial(ctx context.Context, idxs []int, seed uint64, eng engineConfig) ([]measure.Table, pointTotals, error) {
 	points := make([]sweepPoint, 0, len(idxs))
 	for _, idx := range idxs {
 		if err := sweepStep(ctx); err != nil {
-			return nil, 0, err
+			return nil, pointTotals{}, err
 		}
 		p, err := s.sample(ctx, idx, PointSeed(seed, idx), eng)
 		if err != nil {
-			return nil, 0, err
+			return nil, pointTotals{}, err
 		}
 		points = append(points, p)
 	}
@@ -165,6 +172,7 @@ func runLinialSample(ctx context.Context, idx int, seed uint64, eng engineConfig
 		sim.WithContext(ctx),
 		sim.WithParallelism(eng.parallelism),
 		sim.WithShards(eng.shards),
+		sim.WithShardLayout(sim.ShardLayout(eng.layout)),
 	).Run(tr, coloring.LinialAlgorithm{Delta: delta})
 	if err != nil {
 		return sweepPoint{}, err
@@ -183,10 +191,13 @@ func runLinialSample(ctx context.Context, idx int, seed uint64, eng engineConfig
 		return sweepPoint{}, fmt.Errorf("sample %d: improper coloring on edge {%d,%d}", idx, u, v)
 	}
 	avg := r.NodeAveraged()
+	boundary, crossed := shardTraffic(r)
 	return sweepPoint{
-		pt:    measure.Point{X: float64(r.TotalRounds), Y: avg},
-		row:   []any{idx, delta, r.TotalRounds, avg, formatColorDist(counts)},
-		steps: r.Steps,
+		pt:       measure.Point{X: float64(r.TotalRounds), Y: avg},
+		row:      []any{idx, delta, r.TotalRounds, avg, formatColorDist(counts)},
+		steps:    r.Steps,
+		boundary: boundary,
+		crossed:  crossed,
 	}, nil
 }
 
@@ -243,10 +254,13 @@ func ensembleExperiment(name, description, theory string, presets map[string][]i
 		Presets:     presets,
 		DefaultSeed: seed,
 	}
-	finish := func(cfg RunConfig, preset string, idxs []int, started time.Time, tables []measure.Table, steps int64) *Result {
+	finish := func(cfg RunConfig, preset string, idxs []int, started time.Time, tables []measure.Table, totals pointTotals) *Result {
 		res := e.newResult(cfg, preset, idxs, started)
 		res.Tables = tables
-		res.Steps = steps
+		res.Steps = totals.steps
+		if totals.boundary > 0 || totals.crossed > 0 {
+			res.ShardTraffic = &ShardTraffic{BoundaryEdges: totals.boundary, MessagesCrossed: totals.crossed}
+		}
 		return res
 	}
 	e.Run = func(ctx context.Context, cfg RunConfig) (*Result, error) {
@@ -259,11 +273,11 @@ func ensembleExperiment(name, description, theory string, presets map[string][]i
 		}
 		s := spec()
 		started := time.Now()
-		tables, steps, err := s.runSerial(ctx, idxs, e.seedFor(cfg), engCfg(cfg))
+		tables, totals, err := s.runSerial(ctx, idxs, e.seedFor(cfg), engCfg(cfg))
 		if err != nil {
 			return nil, fmt.Errorf("exp: %s: %w", e.Name, err)
 		}
-		return finish(cfg, preset, idxs, started, tables, steps), nil
+		return finish(cfg, preset, idxs, started, tables, totals), nil
 	}
 	e.Plan = func(cfg RunConfig) (*TaskPlan, error) {
 		idxs, preset, err := e.sizesFor(cfg)
@@ -311,11 +325,11 @@ func ensembleExperiment(name, description, theory string, presets map[string][]i
 					}
 					points[i] = p
 				}
-				tables, steps, err := s.assemble(points)
+				tables, totals, err := s.assemble(points)
 				if err != nil {
 					return nil, fmt.Errorf("exp: %s: %w", e.Name, err)
 				}
-				return finish(cfg, preset, idxs, started, tables, steps), nil
+				return finish(cfg, preset, idxs, started, tables, totals), nil
 			},
 			Encode:  encodeSweepPoint,
 			Decode:  decodeSweepPoint,

@@ -62,6 +62,13 @@ type RunConfig struct {
 	// sim.WithShards). Analytic experiments ignore it; canonical results are
 	// byte-identical at every shard count.
 	Shards int
+	// ShardLayout selects the sharded backend's partitioning layout:
+	// "range" (or empty) for the balanced contiguous split of the
+	// construction numbering, "subtree" for the fat-preorder relabeling that
+	// minimizes boundary edges (sim.WithShardLayout). Like Shards it is
+	// execution mechanics: canonical results are byte-identical across
+	// layouts, only the shard-traffic telemetry changes.
+	ShardLayout string
 }
 
 // Experiment is one registered, runnable scenario.
@@ -108,6 +115,10 @@ type Result struct {
 	Seed        uint64 `json:"seed,omitempty"`
 	Parallelism int    `json:"parallelism,omitempty"`
 	Shards      int    `json:"shards,omitempty"`
+	// ShardLayout echoes RunConfig.ShardLayout: the partitioning layout the
+	// sharded simulator ran under ("" = range). Execution mechanics like
+	// Shards; the canonical form strips it.
+	ShardLayout string `json:"shard_layout,omitempty"`
 	// Steps is the total simulator machine-step work (sim.Result.Steps summed
 	// over the run's simulated points); 0 for purely analytic experiments.
 	// Like elapsed_ms it describes execution work, not computed results, and
@@ -116,6 +127,24 @@ type Result struct {
 	ElapsedMS float64         `json:"elapsed_ms"`
 	Tables    []measure.Table `json:"tables"`
 	Fit       *Fit            `json:"fit,omitempty"`
+	// ShardTraffic summarizes what the sharded simulator's partition cost
+	// across the run's simulated points; nil for analytic or unsharded runs.
+	// It is the layout objective made visible — the number cmd/experiments
+	// -json and expd /statsz report so layout improvements are observable —
+	// and, being execution mechanics, the canonical form strips it.
+	ShardTraffic *ShardTraffic `json:"shard_traffic,omitempty"`
+}
+
+// ShardTraffic aggregates the sharded simulator's per-shard statistics over
+// every simulated point of a run (sim.Result.Shards).
+type ShardTraffic struct {
+	// BoundaryEdges is the total number of edges crossing shard boundaries,
+	// summed over simulated points, each edge counted once (the per-shard
+	// statistics count both endpoints).
+	BoundaryEdges int64 `json:"boundary_edges"`
+	// MessagesCrossed is the total number of real messages that crossed a
+	// shard boundary, summed over simulated points.
+	MessagesCrossed int64 `json:"messages_crossed"`
 }
 
 // Fit is the fitted-versus-theory exponent comparison of a scaling sweep.
@@ -166,6 +195,7 @@ func (e *Experiment) newResult(cfg RunConfig, preset string, sizes []int, starte
 		Seed:        e.seedFor(cfg),
 		Parallelism: cfg.Parallelism,
 		Shards:      cfg.Shards,
+		ShardLayout: cfg.ShardLayout,
 		ElapsedMS:   float64(time.Since(started).Microseconds()) / 1000,
 	}
 }
@@ -174,6 +204,9 @@ func (e *Experiment) newResult(cfg RunConfig, preset string, sizes []int, starte
 func (e *Experiment) sweepResultOf(cfg RunConfig, preset string, sizes []int, started time.Time, sr *SweepResult) *Result {
 	res := e.newResult(cfg, preset, sizes, started)
 	res.Steps = sr.Steps
+	if sr.Boundary > 0 || sr.Crossed > 0 {
+		res.ShardTraffic = &ShardTraffic{BoundaryEdges: sr.Boundary, MessagesCrossed: sr.Crossed}
+	}
 	res.Tables = []measure.Table{sr.Table}
 	res.Fit = &Fit{
 		Slope:       sr.Slope,

@@ -252,6 +252,12 @@ type wirePoint struct {
 	// result's steps counter (stripped from canonical output), never a
 	// table cell, so it cannot perturb canonical bytes.
 	Steps int64 `json:"steps,omitempty"`
+	// Boundary and Crossed carry the point's sharded-run traffic counters
+	// (boundary edges, cross-shard messages). Like Steps they feed the
+	// result's diagnostic ShardTraffic block, which Canonical strips, so
+	// they cannot perturb canonical bytes either.
+	Boundary int64 `json:"boundary,omitempty"`
+	Crossed  int64 `json:"crossed,omitempty"`
 }
 
 // encodeSweepPoint converts a sweep task's in-process output to its wire
@@ -261,7 +267,8 @@ func encodeSweepPoint(out any) (json.RawMessage, error) {
 	if !ok {
 		return nil, fmt.Errorf("exp: sweep task output is %T, not a sweep point", out)
 	}
-	w := wirePoint{X: p.pt.X, Y: p.pt.Y, Row: make([]string, len(p.row)), Steps: p.steps}
+	w := wirePoint{X: p.pt.X, Y: p.pt.Y, Row: make([]string, len(p.row)), Steps: p.steps,
+		Boundary: p.boundary, Crossed: p.crossed}
 	for i, c := range p.row {
 		w.Row[i] = measure.FormatCell(c)
 	}
@@ -276,7 +283,8 @@ func decodeSweepPoint(raw json.RawMessage) (any, error) {
 	if err := json.Unmarshal(raw, &w); err != nil {
 		return nil, fmt.Errorf("exp: decoding sweep point: %w", err)
 	}
-	p := sweepPoint{pt: measure.Point{X: w.X, Y: w.Y}, row: make([]any, len(w.Row)), steps: w.Steps}
+	p := sweepPoint{pt: measure.Point{X: w.X, Y: w.Y}, row: make([]any, len(w.Row)), steps: w.Steps,
+		boundary: w.Boundary, crossed: w.Crossed}
 	for i, s := range w.Row {
 		p.row[i] = s
 	}

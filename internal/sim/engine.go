@@ -41,6 +41,7 @@ type Engine struct {
 	ctx         context.Context
 	parallelism int
 	shards      int
+	layout      ShardLayout
 }
 
 // Option configures an Engine.
@@ -79,11 +80,39 @@ func WithParallelism(n int) Option { return func(e *Engine) { e.parallelism = n 
 // with its own machines and message buffers, run as independent per-round
 // executors that exchange only cross-shard boundary messages through an
 // in-memory bus between rounds (see shard.go). 0 and 1 select the unsharded
-// backends; k < 0 selects GOMAXPROCS shards; k > n is capped at n. Rounds,
-// outputs, and message counts are bit-identical to the sequential backend at
-// every shard count; sharded runs additionally report per-shard statistics
-// in Result.Shards.
+// backends; k < 0 selects GOMAXPROCS shards; k > n is clamped to n (one
+// node per shard). The clamped count always yields exactly min(k, n)
+// non-empty shards — the split is the balanced graph.RangeCuts partition,
+// never a shorter or empty-shard one — pinned by TestShardCountResolution.
+// Rounds, outputs, and message counts are bit-identical to the sequential
+// backend at every shard count; sharded runs additionally report per-shard
+// statistics in Result.Shards.
 func WithShards(k int) Option { return func(e *Engine) { e.shards = k } }
+
+// ShardLayout selects how the sharded backend maps nodes to shards.
+type ShardLayout string
+
+const (
+	// LayoutRange is the default: shards own balanced contiguous index
+	// ranges of the construction numbering (graph.RangeCuts).
+	LayoutRange ShardLayout = "range"
+	// LayoutSubtree relabels nodes by a fat preorder before cutting
+	// (graph.Partition): every subtree occupies a contiguous interval, and
+	// cut points slide within a balance window to minimize boundary edges.
+	// Results are bit-identical to every other layout and backend; only
+	// Result.Shards (boundary edges, messages crossed) changes.
+	LayoutSubtree ShardLayout = "subtree"
+)
+
+// WithShardLayout selects the sharded backend's partitioning layout; the
+// empty string means LayoutRange. The layout is execution mechanics in the
+// same sense as the shard count: the simulation is executed over relabeled
+// indices and every observable result is mapped back through the inverse
+// relabeling, so Rounds, Outputs, TotalRounds, Messages, and Steps are
+// bit-identical across layouts. Only the per-shard statistics — boundary
+// edges and the traffic crossing them, the thing the subtree layout exists
+// to reduce — differ. An unknown layout fails Run loudly.
+func WithShardLayout(l ShardLayout) Option { return func(e *Engine) { e.layout = l } }
 
 // NewEngine builds an engine from options. The zero configuration is a
 // sequential run with default IDs, no inputs, and the default round limit.
@@ -116,6 +145,11 @@ func (e *Engine) Run(t *graph.Tree, alg Algorithm) (*Result, error) {
 	maxRounds := e.maxRounds
 	if maxRounds == 0 {
 		maxRounds = 4*n + 64
+	}
+	switch e.layout {
+	case "", LayoutRange, LayoutSubtree:
+	default:
+		return nil, fmt.Errorf("sim: unknown shard layout %q", e.layout)
 	}
 	if shards := e.shards; shards > 1 || shards < 0 {
 		if shards < 0 {

@@ -213,12 +213,15 @@ func TestFrontierMatchesFullSweepOracle(t *testing.T) {
 			t.Fatalf("%s oracle: %v", name, err)
 		}
 		backends := map[string]*Engine{
-			"sequential": NewEngine(WithIDs(ids), WithInputs(shape.deadlines)),
-			"parallel2":  NewEngine(WithIDs(ids), WithInputs(shape.deadlines), WithParallelism(2)),
-			"parallelN":  NewEngine(WithIDs(ids), WithInputs(shape.deadlines), WithParallelism(-1)),
-			"shards2":    NewEngine(WithIDs(ids), WithInputs(shape.deadlines), WithShards(2)),
-			"shards3":    NewEngine(WithIDs(ids), WithInputs(shape.deadlines), WithShards(3)),
-			"shards7":    NewEngine(WithIDs(ids), WithInputs(shape.deadlines), WithShards(7)),
+			"sequential":      NewEngine(WithIDs(ids), WithInputs(shape.deadlines)),
+			"parallel2":       NewEngine(WithIDs(ids), WithInputs(shape.deadlines), WithParallelism(2)),
+			"parallelN":       NewEngine(WithIDs(ids), WithInputs(shape.deadlines), WithParallelism(-1)),
+			"shards2":         NewEngine(WithIDs(ids), WithInputs(shape.deadlines), WithShards(2)),
+			"shards3":         NewEngine(WithIDs(ids), WithInputs(shape.deadlines), WithShards(3)),
+			"shards7":         NewEngine(WithIDs(ids), WithInputs(shape.deadlines), WithShards(7)),
+			"shards2-subtree": NewEngine(WithIDs(ids), WithInputs(shape.deadlines), WithShards(2), WithShardLayout(LayoutSubtree)),
+			"shards3-subtree": NewEngine(WithIDs(ids), WithInputs(shape.deadlines), WithShards(3), WithShardLayout(LayoutSubtree)),
+			"shards7-subtree": NewEngine(WithIDs(ids), WithInputs(shape.deadlines), WithShards(7), WithShardLayout(LayoutSubtree)),
 		}
 		for bname, eng := range backends {
 			got, err := eng.Run(shape.tree, probeAlg{})

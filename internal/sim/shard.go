@@ -26,6 +26,14 @@ package sim
 // the pull phase serves it from the cache at zero bus cost — the same
 // zero-cost convention the unsharded backends implement.
 //
+// Which nodes a shard owns is the engine's shard layout (WithShardLayout):
+// the range layout shards the construction numbering directly, while the
+// subtree layout relabels the tree by graph.Partition's fat preorder first,
+// so shard ranges align with subtrees and far fewer edges cross shards. A
+// layout only permutes indices — the machinery below always sees contiguous
+// ranges — and results are mapped back to construction numbering, so the
+// layout is invisible in everything but Result.Shards.
+//
 // Determinism: every receive slot has exactly one writer (the neighbor
 // behind the reverse edge, or the bus acting for it), and the pull phase
 // only fills slots that round's writers left empty, so delivery order never
@@ -177,12 +185,17 @@ func (b *shardBus) exchange() {
 	}
 }
 
-// shardRun is the mutable state of one sharded execution.
+// shardRun is the mutable state of one sharded execution. Under the subtree
+// layout every index here is an *execution* index: the run operates on a
+// relabeled tree in which each shard's nodes are contiguous, and orig maps
+// execution indices back to construction indices for everything the caller
+// observes (Rounds, Outputs, error messages).
 type shardRun struct {
 	t         *graph.Tree
 	alg       Algorithm
 	maxRounds int
-	chunk     int // shardOf(v) = v / chunk
+	owner     []int32 // owner[v] = shard index of execution node v
+	orig      []int32 // execution index -> construction index; nil = identity
 	shards    []*shard
 	bus       *shardBus
 	off       []int32 // CSR offsets (shared with the tree; read-only)
@@ -191,34 +204,80 @@ type shardRun struct {
 	res       *Result
 }
 
-// runSharded executes alg across k > 1 shards. IDs and inputs are already
-// validated by Run.
+// origNode maps an execution index back to its construction index.
+func (r *shardRun) origNode(v int) int {
+	if r.orig == nil {
+		return v
+	}
+	return int(r.orig[v])
+}
+
+// runSharded executes alg across k > 1 shards under the engine's layout.
+// IDs and inputs are already validated by Run.
+//
+// The range layout shards the construction numbering directly over the
+// balanced graph.RangeCuts split. The subtree layout first relabels the tree
+// by graph.Partition's fat preorder: node v of the construction occupies
+// execution index perm[v], with its ID and input carried along, and the
+// contiguous-range machinery below applies verbatim to the relabeled
+// indices. Relabeling preserves every machine's observable world — the same
+// ID, degree, input, and per-port neighbor sequence — so the permuted run is
+// the same simulation step for step; results are mapped back through the
+// inverse permutation (origNode), making Rounds, Outputs, TotalRounds,
+// Messages, and Steps bit-identical across layouts. Only Result.Shards
+// differs: its BoundaryEdges/MessagesCrossed describe the layout actually
+// executed — the objective the partitioner minimizes.
 func (e *Engine) runSharded(t *graph.Tree, alg Algorithm, ids []uint64, maxRounds, k int) (*Result, error) {
 	n := t.N()
-	chunk := (n + k - 1) / k
+	exec, inputs := t, e.inputs
+	var cuts []int32
+	var orig []int32
+	if e.layout == LayoutSubtree {
+		lay := graph.Partition(t, k)
+		cuts = lay.Cuts
+		if lay.Perm != nil {
+			exec = graph.PermuteTree(t, lay.Perm)
+			orig = lay.Inverse()
+			pids := make([]uint64, n)
+			for p := range pids {
+				pids[p] = ids[orig[p]]
+			}
+			ids = pids
+			if e.inputs != nil {
+				pin := make([]any, n)
+				for p := range pin {
+					pin[p] = e.inputs[orig[p]]
+				}
+				inputs = pin
+			}
+		}
+	} else {
+		cuts = graph.RangeCuts(n, k)
+	}
 	r := &shardRun{
-		t:         t,
+		t:         exec,
 		alg:       alg,
 		maxRounds: maxRounds,
-		chunk:     chunk,
-		off:       t.Offsets(),
-		nbrs:      t.AdjacencyRaw(),
-		rev:       reverseSlots(t),
+		owner:     (&graph.Layout{Cuts: cuts}).Owners(),
+		orig:      orig,
+		off:       exec.Offsets(),
+		nbrs:      exec.AdjacencyRaw(),
+		rev:       reverseSlots(exec),
 		res: &Result{
 			Rounds:  make([]int, n),
 			Outputs: make([]any, n),
 		},
 	}
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
+	for i := 0; i+1 < len(cuts); i++ {
+		lo, hi := int(cuts[i]), int(cuts[i+1])
+		if hi <= lo {
+			return nil, fmt.Errorf("sim: internal: empty shard %d in cuts %v (n=%d, k=%d)", i, cuts, n, k)
 		}
 		size := hi - lo
 		slots := int(r.off[hi] - r.off[lo])
 		sh := &shard{
 			r:         r,
-			idx:       len(r.shards),
+			idx:       i,
 			lo:        lo,
 			hi:        hi,
 			slotBase:  r.off[lo],
@@ -241,17 +300,17 @@ func (e *Engine) runSharded(t *graph.Tree, alg Algorithm, ids []uint64, maxRound
 			i := v - sh.lo
 			sh.active[i] = int32(i)
 			var input any
-			if e.inputs != nil {
-				input = e.inputs[v]
+			if inputs != nil {
+				input = inputs[v]
 			}
 			sh.machines[i] = alg.NewMachine(NodeInfo{
 				ID:     ids[v],
-				Degree: t.Degree(v),
+				Degree: exec.Degree(v),
 				N:      n,
 				Input:  input,
 			})
-			for _, w := range t.NeighborsRaw(v) {
-				if int(w)/chunk != sh.idx {
+			for _, w := range exec.NeighborsRaw(v) {
+				if r.owner[w] != int32(sh.idx) {
 					sh.stats.BoundaryEdges++
 				}
 			}
@@ -368,7 +427,7 @@ func (sh *shard) step(round int) {
 						continue
 					}
 				}
-				if u := int(nbrs[e]); u/r.chunk == sh.idx && sh.done[u-sh.lo] {
+				if u := int(nbrs[e]); r.owner[u] == int32(sh.idx) && sh.done[u-sh.lo] {
 					sh.inbox[ls] = sh.frozen[u-sh.lo]
 				}
 			}
@@ -386,7 +445,7 @@ func (sh *shard) step(round int) {
 		for p := deg; p < len(send); p++ {
 			if send[p] != nil {
 				sh.err = fmt.Errorf("%w: algorithm %q node %d port %d degree %d",
-					ErrBadPort, r.alg.Name(), v, p, deg)
+					ErrBadPort, r.alg.Name(), r.origNode(v), p, deg)
 				return
 			}
 		}
@@ -396,7 +455,7 @@ func (sh *shard) step(round int) {
 			}
 			e := int(base) + p
 			sh.msgs++
-			if t := int(nbrs[e]) / r.chunk; t != sh.idx {
+			if t := int(r.owner[nbrs[e]]); t != sh.idx {
 				sh.outbox[t] = append(sh.outbox[t],
 					boundaryMsg{dst: int(nbrs[e]), slot: rev[e], payload: send[p]})
 				sh.stats.MessagesCrossed++
@@ -416,14 +475,14 @@ func (sh *shard) step(round int) {
 		sh.done[i] = true
 		sh.remaining--
 		sh.fins++
-		r.res.Rounds[v] = round
+		r.res.Rounds[r.origNode(v)] = round
 		out := sh.machines[i].Output()
 		if out == nil {
 			sh.err = fmt.Errorf("%w: algorithm %q node %d",
-				ErrNilOutput, r.alg.Name(), v)
+				ErrNilOutput, r.alg.Name(), r.origNode(v))
 			return
 		}
-		r.res.Outputs[v] = out
+		r.res.Outputs[r.origNode(v)] = out
 		sh.frozen[i] = Terminated{Output: out}
 		// Local neighbors observe the frozen output by pulling it from the
 		// next round on; a real message sent in the terminating round stays
@@ -431,7 +490,7 @@ func (sh *shard) step(round int) {
 		// value once as a fill message (after any real send queued above) for
 		// the remote shard's remoteFrozen cache.
 		for e := base; e < end; e++ {
-			if t := int(nbrs[e]) / r.chunk; t != sh.idx {
+			if t := int(r.owner[nbrs[e]]); t != sh.idx {
 				sh.outbox[t] = append(sh.outbox[t],
 					boundaryMsg{dst: int(nbrs[e]), slot: rev[e], fill: true, payload: sh.frozen[i]})
 			}

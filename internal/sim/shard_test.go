@@ -50,12 +50,14 @@ func shardShapes(t *testing.T) map[string]*graph.Tree {
 	return shapes
 }
 
-// TestShardedEquivalence sweeps shard counts and adversarial boundary shapes:
-// every (shape, algorithm, k) combination must reproduce the sequential
-// Rounds, Outputs, TotalRounds, and Messages exactly. maxIDAlg exercises the
-// frozen-output mirror (terminated boundary nodes keep informing remote
-// neighbors); echoAlias exercises the inbox clear-after-queue ordering across
-// the bus.
+// TestShardedEquivalence sweeps shard counts, both shard layouts, and
+// adversarial boundary shapes: every (shape, algorithm, k, layout)
+// combination must reproduce the sequential Rounds, Outputs, TotalRounds,
+// and Messages exactly. maxIDAlg exercises the frozen-output mirror
+// (terminated boundary nodes keep informing remote neighbors); echoAlias
+// exercises the inbox clear-after-queue ordering across the bus; the subtree
+// layout additionally exercises the permuted execution path end to end
+// (results must come back in construction numbering).
 func TestShardedEquivalence(t *testing.T) {
 	algs := []Algorithm{tickAlg{rounds: 6}, echoAlias{rounds: 9}, maxIDAlg{}}
 	for name, tr := range shardShapes(t) {
@@ -66,13 +68,147 @@ func TestShardedEquivalence(t *testing.T) {
 				t.Fatalf("%s/%s sequential: %v", name, alg.Name(), err)
 			}
 			for _, k := range []int{1, 2, 3, 4, 7, 16, tr.N(), tr.N() + 5, -1} {
-				got, err := NewEngine(WithIDs(ids), WithShards(k)).Run(tr, alg)
+				for _, layout := range []ShardLayout{LayoutRange, LayoutSubtree} {
+					got, err := NewEngine(WithIDs(ids), WithShards(k), WithShardLayout(layout)).Run(tr, alg)
+					if err != nil {
+						t.Fatalf("%s/%s shards=%d layout=%s: %v", name, alg.Name(), k, layout, err)
+					}
+					if !reflect.DeepEqual(coreResult(seq), coreResult(got)) {
+						t.Fatalf("%s/%s shards=%d layout=%s diverges from sequential", name, alg.Name(), k, layout)
+					}
+				}
+			}
+		}
+	}
+}
+
+// inputEchoAlg terminates immediately, outputting the node's LCL input — the
+// probe that catches a layout permuting inputs and outputs inconsistently.
+type inputEchoAlg struct{}
+
+func (inputEchoAlg) Name() string { return "input-echo" }
+func (inputEchoAlg) NewMachine(info NodeInfo) Machine {
+	return inputEchoMachine{input: info.Input}
+}
+
+type inputEchoMachine struct{ input any }
+
+func (inputEchoMachine) Step(int, []any) ([]any, bool) { return nil, true }
+func (m inputEchoMachine) Output() any                 { return m.input }
+
+// TestShardLayoutPermutesInputs pins the inverse-permutation contract for
+// WithInputs: under the subtree layout each machine must still receive its
+// own node's input, and outputs must land back at construction indices.
+func TestShardLayoutPermutesInputs(t *testing.T) {
+	for name, tr := range shardShapes(t) {
+		n := tr.N()
+		inputs := make([]any, n)
+		for v := range inputs {
+			inputs[v] = v * 10
+		}
+		res, err := NewEngine(WithInputs(inputs), WithShards(4), WithShardLayout(LayoutSubtree)).Run(tr, inputEchoAlg{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for v := 0; v < n; v++ {
+			if res.Outputs[v] != v*10 {
+				t.Fatalf("%s: output of node %d is %v, want %d", name, v, res.Outputs[v], v*10)
+			}
+		}
+	}
+}
+
+// TestShardCountResolution pins the shard-count contract on every layout:
+// WithShards(k) always resolves to exactly min(k, n) non-empty shards
+// covering all n nodes. Before the balanced split, ceil-chunking silently
+// produced fewer shards than requested (n=5, k=4 gave ranges 2+2+1 — three
+// shards) and clamping hid the deviation; the balanced cuts make the
+// resolved count exact, and this test makes any regression loud.
+func TestShardCountResolution(t *testing.T) {
+	shapes := map[string]*graph.Tree{"path5": mustPath(t, 5), "path10": mustPath(t, 10)}
+	for name, tr := range shardShapes(t) {
+		shapes[name] = tr
+	}
+	for name, tr := range shapes {
+		n := tr.N()
+		for _, k := range []int{2, 3, 4, 7, n - 1, n, n + 1, n + 5} {
+			if k < 2 {
+				continue
+			}
+			want := k
+			if want > n {
+				want = n
+			}
+			for _, layout := range []ShardLayout{LayoutRange, LayoutSubtree} {
+				res, err := NewEngine(WithShards(k), WithShardLayout(layout)).Run(tr, tickAlg{rounds: 2})
 				if err != nil {
-					t.Fatalf("%s/%s shards=%d: %v", name, alg.Name(), k, err)
+					t.Fatalf("%s shards=%d layout=%s: %v", name, k, layout, err)
 				}
-				if !reflect.DeepEqual(coreResult(seq), coreResult(got)) {
-					t.Fatalf("%s/%s shards=%d diverges from sequential", name, alg.Name(), k)
+				if len(res.Shards) != want {
+					t.Fatalf("%s shards=%d layout=%s: resolved to %d shards, want %d",
+						name, k, layout, len(res.Shards), want)
 				}
+				total := 0
+				for _, s := range res.Shards {
+					if s.Nodes < 1 {
+						t.Fatalf("%s shards=%d layout=%s: shard %d is empty", name, k, layout, s.Shard)
+					}
+					total += s.Nodes
+				}
+				if total != n {
+					t.Fatalf("%s shards=%d layout=%s: shards cover %d of %d nodes", name, k, layout, total, n)
+				}
+			}
+		}
+	}
+}
+
+// TestUnknownShardLayout: a typo'd layout must fail loudly, not silently
+// fall back to the range split.
+func TestUnknownShardLayout(t *testing.T) {
+	if _, err := NewEngine(WithShards(2), WithShardLayout("zigzag")).Run(mustPath(t, 8), tickAlg{rounds: 1}); err == nil {
+		t.Fatal("unknown layout accepted silently")
+	}
+}
+
+// TestSubtreeLayoutReducesBoundary is the boundary-edge regression pin on
+// the engine itself: on the shapes whose construction numbering scatters
+// subtrees (caterpillar, hierarchical), the subtree layout's ShardStats must
+// report at least 30% fewer boundary edges than the range layout at every
+// differential shard count — and never more on any shape. The reduction is
+// asserted on what the shards actually executed, not on the partitioner's
+// claim: ShardStats.BoundaryEdges is the objective function made visible.
+func TestSubtreeLayoutReducesBoundary(t *testing.T) {
+	boundary := func(tr *graph.Tree, k int, layout ShardLayout) int {
+		t.Helper()
+		res, err := NewEngine(WithShards(k), WithShardLayout(layout)).Run(tr, tickAlg{rounds: 2})
+		if err != nil {
+			t.Fatalf("shards=%d layout=%s: %v", k, layout, err)
+		}
+		total := 0
+		for _, s := range res.Shards {
+			total += s.BoundaryEdges // each boundary edge appears in both incident shards
+		}
+		return total
+	}
+	shapes := shardShapes(t)
+	for name, tr := range shapes {
+		mustReduce := name == "caterpillar19x6" || name == "hierarchical5x11"
+		for _, k := range []int{2, 4, 7} {
+			rangeB := boundary(tr, k, LayoutRange)
+			subtreeB := boundary(tr, k, LayoutSubtree)
+			if subtreeB > rangeB {
+				t.Errorf("%s shards=%d: subtree layout has %d boundary-edge endpoints, range %d — layout made it worse",
+					name, k, subtreeB, rangeB)
+			}
+			if !mustReduce {
+				continue
+			}
+			reduction := 1 - float64(subtreeB)/float64(rangeB)
+			t.Logf("%s shards=%d: boundary edges %d -> %d (%.0f%% reduction)", name, k, rangeB/2, subtreeB/2, 100*reduction)
+			if reduction < 0.30 {
+				t.Errorf("%s shards=%d: subtree layout reduces boundary edges by only %.0f%% (%d -> %d), want >= 30%%",
+					name, k, 100*reduction, rangeB/2, subtreeB/2)
 			}
 		}
 	}
@@ -136,15 +272,17 @@ func TestShardBoundaryFinalRoundMessage(t *testing.T) {
 	ids := SequentialIDs(2) // node 0 is the speaker
 	const rounds = 5
 	for _, k := range []int{1, 2} {
-		res, err := NewEngine(WithIDs(ids), WithShards(k)).Run(tr, lastWordAlg{rounds: rounds})
-		if err != nil {
-			t.Fatalf("shards=%d: %v", k, err)
-		}
-		if got := res.Outputs[1]; got != "last-word" {
-			t.Fatalf("shards=%d: listener output %v, want the final-round message", k, got)
-		}
-		if res.Rounds[0] != rounds || res.Rounds[1] != rounds+1 {
-			t.Fatalf("shards=%d: rounds = %v", k, res.Rounds)
+		for _, layout := range []ShardLayout{LayoutRange, LayoutSubtree} {
+			res, err := NewEngine(WithIDs(ids), WithShards(k), WithShardLayout(layout)).Run(tr, lastWordAlg{rounds: rounds})
+			if err != nil {
+				t.Fatalf("shards=%d layout=%s: %v", k, layout, err)
+			}
+			if got := res.Outputs[1]; got != "last-word" {
+				t.Fatalf("shards=%d layout=%s: listener output %v, want the final-round message", k, layout, got)
+			}
+			if res.Rounds[0] != rounds || res.Rounds[1] != rounds+1 {
+				t.Fatalf("shards=%d layout=%s: rounds = %v", k, layout, res.Rounds)
+			}
 		}
 	}
 	// The same probe with the listener across a 3-shard cut of a longer path:
